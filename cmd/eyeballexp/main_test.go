@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "environment:") || !strings.Contains(s, "Table 1") {
+		t.Errorf("output malformed:\n%s", s)
+	}
+	if strings.Contains(s, "case study") {
+		t.Error("selection leaked other experiments")
+	}
+}
+
+func TestRunAllWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"table1.txt", "table1.csv", "figure1.txt", "figure2.txt", "figure2.csv",
+		"peergeo.txt", "stability.txt", "density.txt", "services.txt", "crawlquality.txt",
+		"section5.txt", "dimes.txt", "casestudy.txt",
+		"multiscale.txt", "bias.txt", "fusion.txt", "predict.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+		}
+	}
+	if !strings.Contains(out.String(), "artifacts written") {
+		t.Error("no confirmation line")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-exp", "nonsense"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

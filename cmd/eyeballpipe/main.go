@@ -1,0 +1,96 @@
+// Command eyeballpipe runs the paper's four-step measurement pipeline
+// (§2) over a synthetic world and prints the target-dataset profile —
+// the reproduction of Table 1 — along with the conditioning statistics.
+// With -dump it also exports the per-AS dataset as CSV.
+//
+// Usage:
+//
+//	eyeballpipe [-seed N] [-small] [-minpeers N] [-dump dataset.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"eyeballas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eyeballpipe: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("eyeballpipe", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	seed := fs.Uint64("seed", 42, "world and crawl seed")
+	small := fs.Bool("small", false, "use the test-scale world")
+	minPeers := fs.Int("minpeers", 0, "override the per-AS peer floor (0 = scale default)")
+	dump := fs.String("dump", "", "write the per-AS target dataset as CSV to this file")
+	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		w   *eyeball.World
+		err error
+	)
+	switch {
+	case *worldPath != "":
+		f, err2 := os.Open(*worldPath)
+		if err2 != nil {
+			return err2
+		}
+		w, err = eyeball.LoadWorld(f)
+		f.Close()
+	case *small:
+		w, err = eyeball.GenerateSmallWorld(*seed)
+	default:
+		w, err = eyeball.GenerateWorld(*seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := eyeball.DefaultPipelineConfig()
+	if *minPeers > 0 {
+		cfg.MinPeers = *minPeers
+	}
+	ds, err := eyeball.BuildTargetDatasetWithConfig(w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "target dataset: %d eligible eyeball ASes, %d usable peers\n",
+		len(ds.Order), ds.TotalPeers)
+	fmt.Fprintf(stdout, "drops: %d no-city, %d geo-err>%.0fkm, %d unmapped IP, %d duplicate IP\n",
+		ds.Drops.NoCityRecord, ds.Drops.HighGeoErr, cfg.MaxGeoErrKm, ds.Drops.UnmappedIP, ds.Drops.DupIP)
+	fmt.Fprintf(stdout, "       %d ASes below %d peers, %d ASes with p90 geo err > %.0f km\n\n",
+		ds.Drops.SmallAS, cfg.MinPeers, ds.Drops.HighErrAS, cfg.MaxP90GeoErrKm)
+
+	env := &eyeball.Experiments{World: w, Dataset: ds}
+	fmt.Fprint(stdout, eyeball.RunTable1(env).Render())
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		if err := eyeball.WriteDatasetCSV(f, w, ds); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote per-AS dataset to %s\n", *dump)
+	}
+	return nil
+}

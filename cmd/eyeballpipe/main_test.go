@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eyeballas"
+)
+
+func TestRunPipeline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"target dataset:", "drops:", "Table 1", "Country"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunMinPeersOverride(t *testing.T) {
+	var loose, strict bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-minpeers", "50"}, &loose); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-small", "-seed", "5", "-minpeers", "2000"}, &strict); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strict.String(), "below 2000 peers") {
+		t.Error("override not reflected in output")
+	}
+	// A higher floor admits fewer ASes.
+	if countASes(t, loose.String()) <= countASes(t, strict.String()) {
+		t.Errorf("floor 50 admitted %d ASes, floor 2000 admitted %d",
+			countASes(t, loose.String()), countASes(t, strict.String()))
+	}
+}
+
+func countASes(t *testing.T, out string) int {
+	t.Helper()
+	idx := strings.Index(out, "target dataset: ")
+	if idx < 0 {
+		t.Fatalf("no dataset line in %.80q", out)
+	}
+	var n int
+	if _, err := fmt.Sscanf(out[idx:], "target dataset: %d", &n); err != nil {
+		t.Fatalf("cannot parse AS count: %v", err)
+	}
+	return n
+}
+
+func TestRunDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-small", "-seed", "5", "-dump", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("asn,name,kind,level")) {
+		t.Errorf("CSV header wrong: %.60s", data)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines < 10 {
+		t.Errorf("CSV too short: %d lines", lines)
+	}
+}
+
+func TestRunFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "world.snap")
+	// Generate and save a world via the public API, then drive the
+	// pipeline off the snapshot.
+	w, err := eyeball.GenerateSmallWorld(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eyeball.SaveWorld(f, w); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var fromSnap, direct bytes.Buffer
+	if err := run([]string{"-world", snap, "-seed", "5"}, &fromSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-small", "-seed", "5"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if fromSnap.String() != direct.String() {
+		t.Error("pipeline over a snapshot differs from pipeline over the generated world")
+	}
+}

@@ -1,0 +1,189 @@
+// Package eyeball is the public API of the reproduction of "Eyeball
+// ASes: From Geography to Connectivity" (Rasti, Magharei, Rejaie,
+// Willinger; IMC 2010).
+//
+// The library determines the geographic footprint of eyeball ASes —
+// Autonomous Systems that serve end users — from the geo-locations of
+// those users, estimates their likely PoP locations from the peaks of a
+// kernel density surface, and studies what geography does (and does not)
+// predict about their connectivity.
+//
+// Because the paper's datasets (89M crawled P2P peers, commercial
+// geolocation databases, RouteViews tables, DIMES traceroutes) are not
+// redistributable, the library ships a complete synthetic-Internet
+// substrate: a ground-truth world generator plus imperfect measurement
+// simulators for each input. Every experiment therefore has exact ground
+// truth to validate against. See DESIGN.md for the substitution mapping.
+//
+// Typical use:
+//
+//	w, err := eyeball.GenerateWorld(42)           // synthetic Internet
+//	ds, err := eyeball.BuildTargetDataset(w, 42)  // crawl + geolocate + group + filter
+//	rec := ds.Records()[0]                        // one eyeball AS
+//	fp, err := eyeball.EstimateFootprint(w, rec.Samples, eyeball.FootprintOptions{})
+//	fmt.Println(fp.CityList())                    // "[Milan (.130), Rome (.122), …]"
+package eyeball
+
+import (
+	"io"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/bgp"
+	"eyeballas/internal/core"
+	"eyeballas/internal/experiments"
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/geo"
+	"eyeballas/internal/p2p"
+	"eyeballas/internal/pipeline"
+)
+
+// Core domain types, re-exported from the implementation packages so the
+// whole workflow is reachable through this one import.
+type (
+	// World is a generated ground-truth Internet: ASes with PoPs,
+	// relationships, IXPs, and the shared geography.
+	World = astopo.World
+	// ASN is an Autonomous System number.
+	ASN = astopo.ASN
+	// AS is one Autonomous System with its ground truth.
+	AS = astopo.AS
+	// Level is an AS's geographic scope (city/state/country/continent/
+	// global).
+	Level = astopo.Level
+	// WorldConfig controls world generation.
+	WorldConfig = astopo.Config
+
+	// Sample is one usable peer observation (geolocated IP).
+	Sample = core.Sample
+	// Footprint is an estimated geo- and PoP-level footprint.
+	Footprint = core.Footprint
+	// PoP is one inferred Point of Presence.
+	PoP = core.PoP
+	// FootprintOptions tune the KDE and PoP extraction; zero values take
+	// the paper's defaults (40 km bandwidth, α = 0.01).
+	FootprintOptions = core.Options
+	// Classification is an AS's inferred geographic scope.
+	Classification = core.Classification
+	// MatchResult scores discovered PoPs against a reference list.
+	MatchResult = core.MatchResult
+
+	// Dataset is the conditioned target dataset of eligible eyeball ASes.
+	Dataset = pipeline.Dataset
+	// ASRecord is one eligible eyeball AS with its usable samples.
+	ASRecord = pipeline.ASRecord
+	// PipelineConfig holds the §2/§3.1 conditioning thresholds.
+	PipelineConfig = pipeline.Config
+	// CrawlConfig controls the P2P crawl simulation.
+	CrawlConfig = p2p.Config
+
+	// Experiments bundles everything needed to regenerate the paper's
+	// tables and figures; see the experiment runner functions below.
+	Experiments = experiments.Env
+)
+
+// Geographic scope levels.
+const (
+	LevelCity      = astopo.LevelCity
+	LevelState     = astopo.LevelState
+	LevelCountry   = astopo.LevelCountry
+	LevelContinent = astopo.LevelContinent
+	LevelGlobal    = astopo.LevelGlobal
+)
+
+// Paper parameter defaults.
+const (
+	// DefaultBandwidthKm is the §3.1 city-level kernel bandwidth.
+	DefaultBandwidthKm = 40.0
+	// DefaultAlpha is the §4.1 peak-selection threshold.
+	DefaultAlpha = 0.01
+	// MatchRadiusKm is the §5 PoP matching radius.
+	MatchRadiusKm = core.MatchRadiusKm
+)
+
+// GenerateWorld builds a full-scale synthetic Internet (~650 eyeball
+// ASes) deterministically from the seed.
+func GenerateWorld(seed uint64) (*World, error) {
+	return astopo.Generate(astopo.DefaultConfig(seed))
+}
+
+// GenerateSmallWorld builds a test-scale world (~60 eyeball ASes).
+func GenerateSmallWorld(seed uint64) (*World, error) {
+	return astopo.Generate(astopo.SmallConfig(seed))
+}
+
+// GenerateWorldWithConfig builds a world from an explicit configuration.
+func GenerateWorldWithConfig(cfg WorldConfig) (*World, error) {
+	return astopo.Generate(cfg)
+}
+
+// BuildTargetDataset runs the paper's four-step methodology over the
+// world with default parameters: simulate the three P2P crawls, geolocate
+// every peer with two synthetic databases, group peers by AS via
+// synthetic BGP tables, and condition with the §2/§3.1 filters.
+func BuildTargetDataset(w *World, seed uint64) (*Dataset, error) {
+	ds, _, err := pipeline.Run(w, p2p.DefaultConfig(), pipeline.DefaultConfig(), seed)
+	return ds, err
+}
+
+// BuildTargetDatasetWithConfig is BuildTargetDataset with explicit crawl
+// and conditioning parameters.
+func BuildTargetDatasetWithConfig(w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, error) {
+	ds, _, err := pipeline.Run(w, crawlCfg, cfg, seed)
+	return ds, err
+}
+
+// EstimateFootprint runs the paper's §3–§4 procedure for one AS's
+// samples against the world's geography.
+func EstimateFootprint(w *World, samples []Sample, opts FootprintOptions) (*Footprint, error) {
+	return core.EstimateFootprint(w.Gazetteer, samples, opts)
+}
+
+// ClassifyLevel applies the §2 classification rule (> 95% containment).
+func ClassifyLevel(samples []Sample) Classification {
+	return core.ClassifyLevel(samples)
+}
+
+// MatchPoPs validates discovered PoPs against reference locations at the
+// given radius (§5).
+func MatchPoPs(discovered []PoP, reference []GeoPoint, radiusKm float64) MatchResult {
+	return core.MatchPoPs(discovered, reference, radiusKm)
+}
+
+// GeoPoint is a geographic coordinate (latitude/longitude in degrees).
+type GeoPoint = geo.Point
+
+// DefaultWorldConfig returns the full-scale generation configuration.
+func DefaultWorldConfig(seed uint64) WorldConfig { return astopo.DefaultConfig(seed) }
+
+// SmallWorldConfig returns the test-scale generation configuration.
+func SmallWorldConfig(seed uint64) WorldConfig { return astopo.SmallConfig(seed) }
+
+// DefaultCrawlConfig returns the Table 1-shaped crawl penetration model.
+func DefaultCrawlConfig() CrawlConfig { return p2p.DefaultConfig() }
+
+// DefaultPipelineConfig returns the conditioning thresholds at synthetic
+// scale.
+func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
+
+// Gazetteer returns the embedded world gazetteer shared by all worlds.
+func Gazetteer() *gazetteer.Gazetteer { return gazetteer.Default() }
+
+// SaveWorld serializes a world snapshot (JSON). A snapshot reloads
+// bit-identically even across generator changes; see LoadWorld.
+func SaveWorld(out io.Writer, world *World) error { return world.WriteSnapshot(out) }
+
+// LoadWorld reconstructs a world from a snapshot written by SaveWorld.
+func LoadWorld(in io.Reader) (*World, error) { return astopo.ReadSnapshot(in) }
+
+// RIB is a routing table observed from one vantage AS, with full AS paths
+// and longest-prefix-match IP→origin lookup — the synthetic RouteViews
+// table dump.
+type RIB = bgp.RIB
+
+// BuildRIB computes policy routing over the world and materializes the
+// RIB seen from the vantage AS. For several RIBs over one world, compute
+// the routing once via the lower-level bgp package; this helper recomputes
+// it per call.
+func BuildRIB(w *World, vantage ASN) (*RIB, error) {
+	return bgp.BuildRIB(w, bgp.ComputeRouting(w), vantage)
+}

@@ -1,0 +1,3 @@
+module eyeballas
+
+go 1.22

@@ -1,0 +1,19 @@
+package astopo
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(SmallConfig(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

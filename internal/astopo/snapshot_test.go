@@ -1,0 +1,108 @@
+package astopo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	w1 := genSmall(t, 121)
+	var buf bytes.Buffer
+	if err := w1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if w2.Seed != w1.Seed {
+		t.Errorf("seed %d != %d", w2.Seed, w1.Seed)
+	}
+	if len(w2.ASNs()) != len(w1.ASNs()) {
+		t.Fatalf("AS counts differ: %d vs %d", len(w2.ASNs()), len(w1.ASNs()))
+	}
+	for i, n := range w1.ASNs() {
+		if w2.ASNs()[i] != n {
+			t.Fatalf("AS order differs at %d", i)
+		}
+		a1, a2 := w1.AS(n), w2.AS(n)
+		if a1.Name != a2.Name || a1.Kind != a2.Kind || a1.Level != a2.Level ||
+			a1.Region != a2.Region || a1.Country != a2.Country ||
+			a1.Customers != a2.Customers || a1.PublishesPoPs != a2.PublishesPoPs {
+			t.Fatalf("AS %d scalar fields differ:\n%+v\n%+v", n, a1, a2)
+		}
+		if len(a1.Prefixes) != len(a2.Prefixes) || len(a1.PoPs) != len(a2.PoPs) {
+			t.Fatalf("AS %d prefix/PoP counts differ", n)
+		}
+		for j := range a1.Prefixes {
+			if a1.Prefixes[j] != a2.Prefixes[j] {
+				t.Fatalf("AS %d prefix %d differs", n, j)
+			}
+		}
+		for j := range a1.PoPs {
+			p1, p2 := a1.PoPs[j], a2.PoPs[j]
+			if p1.City.Name != p2.City.Name || p1.Share != p2.Share || p1.ServesUsers != p2.ServesUsers {
+				t.Fatalf("AS %d PoP %d differs: %+v vs %+v", n, j, p1, p2)
+			}
+			if p1.City.Loc != p2.City.Loc {
+				t.Fatalf("AS %d PoP %d city not resolved against gazetteer", n, j)
+			}
+		}
+		// Provider links preserved.
+		pr1, pr2 := w1.Providers(n), w2.Providers(n)
+		if len(pr1) != len(pr2) {
+			t.Fatalf("AS %d provider counts differ", n)
+		}
+		for j := range pr1 {
+			if pr1[j] != pr2[j] {
+				t.Fatalf("AS %d provider %d differs", n, j)
+			}
+		}
+	}
+	if len(w2.Peerings()) != len(w1.Peerings()) {
+		t.Fatalf("peering counts differ: %d vs %d", len(w2.Peerings()), len(w1.Peerings()))
+	}
+	if len(w2.IXPs()) != len(w1.IXPs()) {
+		t.Fatalf("IXP counts differ")
+	}
+	for i, ix1 := range w1.IXPs() {
+		ix2 := w2.IXPs()[i]
+		if ix1.ID != ix2.ID || ix1.Name != ix2.Name || len(ix1.Members) != len(ix2.Members) {
+			t.Fatalf("IXP %d differs", ix1.ID)
+		}
+	}
+	// Case study preserved.
+	cs1, cs2 := w1.CaseStudy(), w2.CaseStudy()
+	if cs1 == nil || cs2 == nil || *cs1 != *cs2 {
+		t.Fatalf("case study lost: %+v vs %+v", cs1, cs2)
+	}
+	// Zip index reconstructed (deterministic in seed).
+	if w2.Zips.Len() != w1.Zips.Len() {
+		t.Errorf("zip index sizes differ: %d vs %d", w2.Zips.Len(), w1.Zips.Len())
+	}
+	// Stats agree on every scalar.
+	s1, s2 := w1.Stats(), w2.Stats()
+	if s1.ASes != s2.ASes || s1.Eyeballs != s2.Eyeballs || s1.Peerings != s2.Peerings ||
+		s1.ProviderLinks != s2.ProviderLinks || s1.IXPs != s2.IXPs {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(
+		`{"version":1,"seed":1,"ases":[{"asn":7,"pops":[{"city":"Atlantis","country":"XX"}]}]}`)); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(
+		`{"version":1,"seed":1,"providers":[[1,2]]}`)); err == nil {
+		t.Error("dangling provider link accepted")
+	}
+}

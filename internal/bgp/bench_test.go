@@ -1,0 +1,80 @@
+package bgp
+
+import (
+	"sync"
+	"testing"
+
+	"eyeballas/internal/astopo"
+)
+
+var benchWorld struct {
+	once sync.Once
+	w    *astopo.World
+	r    *Routing
+	rib  *RIB
+	err  error
+}
+
+func benchSetup(b *testing.B) (*astopo.World, *Routing, *RIB) {
+	b.Helper()
+	benchWorld.once.Do(func() {
+		w, err := astopo.Generate(astopo.SmallConfig(9001))
+		if err != nil {
+			benchWorld.err = err
+			return
+		}
+		r := ComputeRouting(w)
+		rib, err := BuildRIB(w, r, w.ASNs()[0])
+		if err != nil {
+			benchWorld.err = err
+			return
+		}
+		benchWorld.w, benchWorld.r, benchWorld.rib = w, r, rib
+	})
+	if benchWorld.err != nil {
+		b.Fatal(benchWorld.err)
+	}
+	return benchWorld.w, benchWorld.r, benchWorld.rib
+}
+
+func BenchmarkComputeRouting(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeRouting(w)
+	}
+}
+
+func BenchmarkBuildRIB(b *testing.B) {
+	w, r, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRIB(w, r, w.ASNs()[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOriginLookup(b *testing.B) {
+	w, _, rib := benchSetup(b)
+	a := w.Eyeballs()[0]
+	probe := a.Prefixes[0].Nth(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rib.OriginOf(probe); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPathReconstruction(b *testing.B) {
+	w, r, _ := benchSetup(b)
+	src := w.ASNs()[5]
+	dst := w.ASNs()[len(w.ASNs())-3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := r.Path(src, dst); p == nil {
+			b.Fatal("no path")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package bgp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/ipnet"
+)
+
+func testWorld(t *testing.T) (*astopo.World, *Routing) {
+	t.Helper()
+	w, err := astopo.Generate(astopo.SmallConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ComputeRouting(w)
+}
+
+func TestFullReachability(t *testing.T) {
+	w, r := testWorld(t)
+	asns := w.ASNs()
+	// Every AS can reach every other AS (all have tier-1 uplinks and
+	// tier-1s are fully meshed).
+	for _, s := range asns {
+		for _, d := range asns {
+			if !r.HasRoute(s, d) {
+				t.Fatalf("no route %d -> %d", s, d)
+			}
+		}
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	w, r := testWorld(t)
+	asns := w.ASNs()
+	for i := 0; i < 50; i++ {
+		s := asns[(i*7)%len(asns)]
+		d := asns[(i*13+5)%len(asns)]
+		p := r.Path(s, d)
+		if p == nil {
+			t.Fatalf("no path %d -> %d", s, d)
+		}
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("path %v does not connect %d -> %d", p, s, d)
+		}
+		// Loop-free.
+		seen := map[astopo.ASN]bool{}
+		for _, a := range p {
+			if seen[a] {
+				t.Fatalf("loop in path %v", p)
+			}
+			seen[a] = true
+		}
+		if l, ok := r.PathLen(s, d); !ok || l != len(p)-1 {
+			t.Fatalf("PathLen = %d, path = %v", l, p)
+		}
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	w, r := testWorld(t)
+	s := w.ASNs()[0]
+	p := r.Path(s, s)
+	if len(p) != 1 || p[0] != s {
+		t.Errorf("self path = %v", p)
+	}
+	if r.RouteTypeOf(s, s) != RouteSelf {
+		t.Errorf("self route type = %v", r.RouteTypeOf(s, s))
+	}
+}
+
+// TestValleyFree verifies the fundamental policy invariant: once a path
+// goes down (provider→customer) or across (peer), it never goes up or
+// across again.
+func TestValleyFree(t *testing.T) {
+	w, r := testWorld(t)
+	rel := func(a, b astopo.ASN) string {
+		for _, p := range w.Providers(a) {
+			if p == b {
+				return "up" // a -> its provider
+			}
+		}
+		for _, c := range w.Customers(a) {
+			if c == b {
+				return "down"
+			}
+		}
+		return "peer"
+	}
+	asns := w.ASNs()
+	for i := 0; i < 200; i++ {
+		s := asns[(i*11)%len(asns)]
+		d := asns[(i*17+3)%len(asns)]
+		p := r.Path(s, d)
+		if len(p) < 2 {
+			continue
+		}
+		phase := 0 // 0=climbing, 1=crossed peer, 2=descending
+		for h := 0; h+1 < len(p); h++ {
+			switch rel(p[h], p[h+1]) {
+			case "up":
+				if phase != 0 {
+					t.Fatalf("valley in path %v at hop %d", p, h)
+				}
+			case "peer":
+				if phase >= 1 {
+					t.Fatalf("double peer crossing in path %v at hop %d", p, h)
+				}
+				phase = 1
+			case "down":
+				phase = 2
+			}
+		}
+	}
+}
+
+func TestCustomerPreferredOverProvider(t *testing.T) {
+	// For a destination that is a customer of s, the route type must be
+	// customer.
+	w, r := testWorld(t)
+	checked := 0
+	for _, a := range w.ASNs() {
+		for _, c := range w.Customers(a) {
+			if got := r.RouteTypeOf(a, c); got != RouteCustomer {
+				t.Errorf("route %d -> customer %d has type %v", a, c, got)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no provider links to check")
+	}
+}
+
+func TestDirectPeerUsesAtMostPeerType(t *testing.T) {
+	w, r := testWorld(t)
+	for _, pr := range w.Peerings() {
+		tA := r.RouteTypeOf(pr.A, pr.B)
+		if tA == RouteProvider {
+			t.Errorf("route %d -> peer %d fell back to provider route", pr.A, pr.B)
+		}
+	}
+}
+
+func TestCaseStudyRouting(t *testing.T) {
+	w, r := testWorld(t)
+	cs := w.CaseStudy()
+	if cs == nil {
+		t.Fatal("no case study")
+	}
+	// Subject reaches its peers across the peering (type peer or
+	// customer — never via a provider valley).
+	for _, peer := range []astopo.ASN{cs.Academic, cs.PeerB, cs.PeerC} {
+		if got := r.RouteTypeOf(cs.Subject, peer); got != RoutePeer {
+			t.Errorf("subject -> %d route type = %v, want peer", peer, got)
+		}
+		if l, _ := r.PathLen(cs.Subject, peer); l != 1 {
+			t.Errorf("subject -> %d path length = %d, want 1", peer, l)
+		}
+	}
+	// Subject's providers are one customer-hop away.
+	for _, p := range w.Providers(cs.Subject) {
+		if l, _ := r.PathLen(cs.Subject, p); l != 1 {
+			t.Errorf("subject -> provider %d length %d", p, l)
+		}
+	}
+}
+
+func TestBuildRIBAndOriginLookup(t *testing.T) {
+	w, r := testWorld(t)
+	vantage := w.ASNs()[0]
+	rib, err := BuildRIB(w, r, vantage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Len() == 0 {
+		t.Fatal("empty RIB")
+	}
+	// Every AS's every prefix resolves to that AS.
+	for _, a := range w.ASes() {
+		for _, p := range a.Prefixes {
+			got, ok := rib.OriginOf(p.Nth(7))
+			if !ok || got != a.ASN {
+				t.Fatalf("OriginOf(%v) = %v, %v; want %d", p.Nth(7), got, ok, a.ASN)
+			}
+		}
+	}
+	// Unallocated space resolves to nothing.
+	if _, ok := rib.OriginOf(ipnet.MakeAddr(223, 255, 255, 254)); ok {
+		t.Error("unallocated address resolved")
+	}
+	// Paths start at the vantage.
+	for _, e := range rib.Entries[:10] {
+		if e.Path[0] != vantage {
+			t.Errorf("entry path %v does not start at vantage %d", e.Path, vantage)
+		}
+	}
+}
+
+func TestBuildRIBUnknownVantage(t *testing.T) {
+	w, r := testWorld(t)
+	if _, err := BuildRIB(w, r, astopo.ASN(999999)); err == nil {
+		t.Error("unknown vantage accepted")
+	}
+}
+
+func TestRIBSerializationRoundTrip(t *testing.T) {
+	w, r := testWorld(t)
+	rib, err := BuildRIB(w, r, w.ASNs()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadRIB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Vantage != rib.Vantage || parsed.Len() != rib.Len() {
+		t.Fatalf("round trip mismatch: vantage %d/%d len %d/%d",
+			parsed.Vantage, rib.Vantage, parsed.Len(), rib.Len())
+	}
+	for i := range rib.Entries {
+		a, b := rib.Entries[i], parsed.Entries[i]
+		if a.Prefix != b.Prefix || len(a.Path) != len(b.Path) || a.Origin() != b.Origin() {
+			t.Fatalf("entry %d mismatch: %v vs %v", i, a, b)
+		}
+	}
+	// Parsed table answers lookups too.
+	e := rib.Entries[0]
+	if got, ok := parsed.OriginOf(e.Prefix.Nth(1)); !ok || got != e.Origin() {
+		t.Errorf("parsed OriginOf = %v, %v", got, ok)
+	}
+}
+
+func TestReadRIBErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no-bar":    "10.0.0.0/8 100 200\n",
+		"bad-pfx":   "10.0.0/8|100\n",
+		"bad-asn":   "10.0.0.0/8|abc\n",
+		"empty-pth": "10.0.0.0/8|\n",
+	} {
+		if _, err := ReadRIB(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestOriginTableMerge(t *testing.T) {
+	w, r := testWorld(t)
+	rib1, _ := BuildRIB(w, r, w.ASNs()[0])
+	rib2, _ := BuildRIB(w, r, w.ASNs()[1])
+	ot := NewOriginTable(rib1, rib2)
+	if ot.Len() != rib1.Len() {
+		t.Errorf("merged table has %d prefixes, want %d", ot.Len(), rib1.Len())
+	}
+	a := w.Eyeballs()[0]
+	got, ok := ot.OriginOf(a.Prefixes[0].Nth(3))
+	if !ok || got != a.ASN {
+		t.Errorf("OriginOf = %v, %v", got, ok)
+	}
+	// A gazetteer-region sanity call to keep the import honest.
+	if a.Region == gazetteer.Other {
+		t.Error("eyeball with unset region")
+	}
+}

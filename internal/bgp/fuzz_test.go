@@ -1,0 +1,37 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadRIB hardens the table-dump parser: arbitrary input must never
+// panic, and accepted input must re-serialize and re-parse to the same
+// entry count.
+func FuzzReadRIB(f *testing.F) {
+	f.Add("# eyeballas RIB vantage=100 entries=1\n1.0.0.0/18|100 200 300\n")
+	f.Add("1.0.0.0/18|100\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("1.0.0.0/18|\n")
+	f.Add("# vantage=abc\n")
+	f.Add("300.0.0.0/8|1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rib, err := ReadRIB(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if _, err := rib.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadRIB(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Len() != rib.Len() || again.Vantage != rib.Vantage {
+			t.Fatalf("round trip changed table: %d/%d entries, vantage %d/%d",
+				again.Len(), rib.Len(), again.Vantage, rib.Vantage)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/ipnet"
+)
+
+// Entry is one RIB row: a prefix and the AS path from the vantage point to
+// its origin (last element).
+type Entry struct {
+	Prefix ipnet.Prefix
+	Path   []astopo.ASN
+}
+
+// Origin returns the originating AS of the entry.
+func (e Entry) Origin() astopo.ASN { return e.Path[len(e.Path)-1] }
+
+// RIB is a routing table as observed from one vantage AS — the synthetic
+// analogue of one RouteViews peer's table dump.
+type RIB struct {
+	Vantage astopo.ASN
+	Entries []Entry
+
+	table *ipnet.Table[astopo.ASN]
+}
+
+// BuildRIB materializes the RIB seen from vantage. Destinations the
+// vantage cannot reach (none exist in generated worlds, but defensively)
+// are omitted.
+func BuildRIB(w *astopo.World, r *Routing, vantage astopo.ASN) (*RIB, error) {
+	if w.AS(vantage) == nil {
+		return nil, fmt.Errorf("bgp: unknown vantage AS %d", vantage)
+	}
+	rib := &RIB{Vantage: vantage, table: ipnet.NewTable[astopo.ASN]()}
+	for _, dst := range r.ASNs() {
+		path := r.Path(vantage, dst)
+		if path == nil {
+			continue
+		}
+		for _, p := range w.AS(dst).Prefixes {
+			rib.Entries = append(rib.Entries, Entry{Prefix: p, Path: path})
+			rib.table.Insert(p, dst)
+		}
+	}
+	sort.Slice(rib.Entries, func(i, j int) bool {
+		if rib.Entries[i].Prefix.Addr != rib.Entries[j].Prefix.Addr {
+			return rib.Entries[i].Prefix.Addr < rib.Entries[j].Prefix.Addr
+		}
+		return rib.Entries[i].Prefix.Bits < rib.Entries[j].Prefix.Bits
+	})
+	return rib, nil
+}
+
+// OriginOf maps an address to its origin AS by longest-prefix match.
+func (rib *RIB) OriginOf(a ipnet.Addr) (astopo.ASN, bool) {
+	return rib.table.Lookup(a)
+}
+
+// Len returns the number of RIB rows.
+func (rib *RIB) Len() int { return len(rib.Entries) }
+
+// WriteTo serializes the RIB in a plain text format, one row per line:
+//
+//	PREFIX|ASN ASN ... ASN
+//
+// mirroring the show-ip-bgp dumps the RouteViews archive distributes.
+func (rib *RIB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "# eyeballas RIB vantage=%d entries=%d\n", rib.Vantage, len(rib.Entries))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range rib.Entries {
+		parts := make([]string, len(e.Path))
+		for i, a := range e.Path {
+			parts[i] = strconv.Itoa(int(a))
+		}
+		n, err := fmt.Fprintf(bw, "%s|%s\n", e.Prefix, strings.Join(parts, " "))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadRIB parses the format written by WriteTo.
+func ReadRIB(r io.Reader) (*RIB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rib := &RIB{table: ipnet.NewTable[astopo.ASN]()}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if v := headerField(line, "vantage="); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("bgp: line %d: bad vantage: %v", lineNo, err)
+				}
+				rib.Vantage = astopo.ASN(n)
+			}
+			continue
+		}
+		bar := strings.IndexByte(line, '|')
+		if bar < 0 {
+			return nil, fmt.Errorf("bgp: line %d: missing '|'", lineNo)
+		}
+		prefix, err := ipnet.ParsePrefix(line[:bar])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %v", lineNo, err)
+		}
+		var path []astopo.ASN
+		for _, f := range strings.Fields(line[bar+1:]) {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("bgp: line %d: bad ASN %q", lineNo, f)
+			}
+			path = append(path, astopo.ASN(n))
+		}
+		if len(path) == 0 {
+			return nil, fmt.Errorf("bgp: line %d: empty AS path", lineNo)
+		}
+		e := Entry{Prefix: prefix, Path: path}
+		rib.Entries = append(rib.Entries, e)
+		rib.table.Insert(prefix, e.Origin())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rib, nil
+}
+
+func headerField(line, key string) string {
+	idx := strings.Index(line, key)
+	if idx < 0 {
+		return ""
+	}
+	rest := line[idx+len(key):]
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	return rest
+}
+
+// OriginTable is the merged origin mapping across several vantages — the
+// paper's "archived BGP tables from the routeviews database" (§2). When
+// vantages disagree on an origin (they do not in generated worlds, but a
+// parsed foreign table might), the first vantage wins.
+type OriginTable struct {
+	table *ipnet.Table[astopo.ASN]
+	size  int
+}
+
+// NewOriginTable merges RIBs.
+func NewOriginTable(ribs ...*RIB) *OriginTable {
+	ot := &OriginTable{table: ipnet.NewTable[astopo.ASN]()}
+	for _, rib := range ribs {
+		for _, e := range rib.Entries {
+			if _, exists := ot.table.LookupPrefix(e.Prefix); !exists {
+				ot.table.Insert(e.Prefix, e.Origin())
+				ot.size++
+			}
+		}
+	}
+	return ot
+}
+
+// OriginOf maps an address to its origin AS.
+func (ot *OriginTable) OriginOf(a ipnet.Addr) (astopo.ASN, bool) { return ot.table.Lookup(a) }
+
+// Len returns the number of distinct prefixes.
+func (ot *OriginTable) Len() int { return ot.size }

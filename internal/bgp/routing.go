@@ -1,0 +1,314 @@
+// Package bgp computes policy routing over the synthetic topology and
+// materializes RouteViews-style routing tables: per-vantage RIBs with full
+// AS paths and longest-prefix-match IP→origin-AS resolution, the role
+// archived BGP tables play in the paper's "grouping users by AS" step
+// (§2) and the raw material for relationship inference (§6).
+package bgp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eyeballas/internal/astopo"
+)
+
+// RouteType classifies how a route was learned, in preference order.
+type RouteType int8
+
+// Route types; higher preference first.
+const (
+	RouteNone     RouteType = iota // no route
+	RouteSelf                      // the destination itself
+	RouteCustomer                  // learned from a customer
+	RoutePeer                      // learned from a peer
+	RouteProvider                  // learned from a provider
+)
+
+// String names the route type.
+func (t RouteType) String() string {
+	switch t {
+	case RouteNone:
+		return "none"
+	case RouteSelf:
+		return "self"
+	case RouteCustomer:
+		return "customer"
+	case RoutePeer:
+		return "peer"
+	case RouteProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("routetype(%d)", int8(t))
+	}
+}
+
+// Routing holds the best valley-free route from every AS to every
+// destination AS, under the standard Gao–Rexford policy: prefer
+// customer > peer > provider routes, then shortest AS path, then lowest
+// next-hop ASN.
+type Routing struct {
+	asns []astopo.ASN
+	idx  map[astopo.ASN]int
+
+	// nextHop[s][d] is the neighbour s forwards to for destination d
+	// (-1 if unreachable); routeType[s][d] classifies s's best route;
+	// pathLen[s][d] is the AS-path length in hops (0 for s==d).
+	nextHop   [][]int32
+	routeType [][]RouteType
+	pathLen   [][]int16
+}
+
+// ComputeRouting runs the propagation for every destination.
+func ComputeRouting(w *astopo.World) *Routing {
+	asns := append([]astopo.ASN(nil), w.ASNs()...)
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	n := len(asns)
+	r := &Routing{asns: asns, idx: make(map[astopo.ASN]int, n)}
+	for i, a := range asns {
+		r.idx[a] = i
+	}
+
+	// Dense adjacency in index space.
+	providers := make([][]int32, n) // up
+	customers := make([][]int32, n) // down
+	peers := make([][]int32, n)
+	for i, a := range asns {
+		for _, p := range w.Providers(a) {
+			providers[i] = append(providers[i], int32(r.idx[p]))
+			// customers filled from the reverse direction below.
+		}
+		for _, c := range w.Customers(a) {
+			customers[i] = append(customers[i], int32(r.idx[c]))
+		}
+		for _, pr := range w.Peers(a) {
+			o := pr.A
+			if o == a {
+				o = pr.B
+			}
+			peers[i] = append(peers[i], int32(r.idx[o]))
+		}
+		// Deduplicate peers (an AS pair may peer at several IXPs; one
+		// session is enough for routing).
+		peers[i] = dedupInt32(peers[i])
+	}
+
+	r.nextHop = make([][]int32, n)
+	r.routeType = make([][]RouteType, n)
+	r.pathLen = make([][]int16, n)
+	for i := range r.nextHop {
+		r.nextHop[i] = make([]int32, n)
+		r.routeType[i] = make([]RouteType, n)
+		r.pathLen[i] = make([]int16, n)
+		for j := range r.nextHop[i] {
+			r.nextHop[i][j] = -1
+		}
+	}
+
+	// Per-destination propagation: destinations are independent, so they
+	// fan out across CPUs; each worker owns its scratch arrays and writes
+	// disjoint columns of the result matrices.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hop := make([]int32, n)
+			typ := make([]RouteType, n)
+			ln := make([]int16, n)
+			for {
+				d := int(atomic.AddInt64(&next, 1))
+				if d >= n {
+					return
+				}
+				r.propagateOne(d, providers, customers, peers, hop, typ, ln)
+			}
+		}()
+	}
+	wg.Wait()
+	return r
+}
+
+// propagateOne computes every AS's best route to destination index d into
+// the scratch arrays and stores the column into the result matrices.
+func (r *Routing) propagateOne(d int, providers, customers, peers [][]int32, hop []int32, typ []RouteType, ln []int16) {
+	n := len(r.asns)
+	for i := range hop {
+		hop[i] = -1
+		typ[i] = RouteNone
+		ln[i] = 0
+	}
+	typ[d] = RouteSelf
+
+	// Phase 1 — customer routes climb provider edges from d.
+	// BFS over "X has a customer(or self) route → X's providers learn
+	// it", taking the shortest; ties by lowest next-hop ASN are
+	// resolved by processing candidates in ASN order.
+	frontier := []int32{int32(d)}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, x := range frontier {
+			for _, p := range providers[x] {
+				if typ[p] == RouteNone {
+					typ[p] = RouteCustomer
+					hop[p] = x
+					ln[p] = ln[x] + 1
+					next = append(next, p)
+				} else if typ[p] == RouteCustomer && ln[x]+1 == ln[p] && r.asns[x] < r.asns[hop[p]] {
+					hop[p] = x
+				}
+			}
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+		frontier = next
+	}
+
+	// Phase 2 — peer routes: one hop across a peering from any AS
+	// with a self/customer route.
+	type peerRoute struct {
+		at, via int32
+		l       int16
+	}
+	var peerRoutes []peerRoute
+	for x := 0; x < n; x++ {
+		if typ[x] != RouteSelf && typ[x] != RouteCustomer {
+			continue
+		}
+		for _, q := range peers[x] {
+			if typ[q] == RouteNone {
+				peerRoutes = append(peerRoutes, peerRoute{at: q, via: int32(x), l: ln[x] + 1})
+			}
+		}
+	}
+	sort.Slice(peerRoutes, func(a, b int) bool {
+		if peerRoutes[a].l != peerRoutes[b].l {
+			return peerRoutes[a].l < peerRoutes[b].l
+		}
+		return r.asns[peerRoutes[a].via] < r.asns[peerRoutes[b].via]
+	})
+	for _, pr := range peerRoutes {
+		if typ[pr.at] == RouteNone {
+			typ[pr.at] = RoutePeer
+			hop[pr.at] = pr.via
+			ln[pr.at] = pr.l
+		}
+	}
+
+	// Phase 3 — provider routes descend customer edges from any AS
+	// with a route.
+	var downFrontier []int32
+	for x := 0; x < n; x++ {
+		if typ[x] != RouteNone {
+			downFrontier = append(downFrontier, int32(x))
+		}
+	}
+	// Process in increasing current path length so shorter provider
+	// routes win; a simple Dijkstra-like loop over unit weights.
+	sort.Slice(downFrontier, func(a, b int) bool {
+		if ln[downFrontier[a]] != ln[downFrontier[b]] {
+			return ln[downFrontier[a]] < ln[downFrontier[b]]
+		}
+		return r.asns[downFrontier[a]] < r.asns[downFrontier[b]]
+	})
+	for qi := 0; qi < len(downFrontier); qi++ {
+		x := downFrontier[qi]
+		for _, c := range customers[x] {
+			if typ[c] == RouteNone {
+				typ[c] = RouteProvider
+				hop[c] = x
+				ln[c] = ln[x] + 1
+				downFrontier = append(downFrontier, c)
+			} else if typ[c] == RouteProvider && ln[x]+1 < ln[c] {
+				hop[c] = x
+				ln[c] = ln[x] + 1
+			} else if typ[c] == RouteProvider && ln[x]+1 == ln[c] && r.asns[x] < r.asns[hop[c]] {
+				hop[c] = x
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		r.nextHop[s][d] = hop[s]
+		r.routeType[s][d] = typ[s]
+		r.pathLen[s][d] = ln[s]
+	}
+}
+
+func dedupInt32(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ASNs returns the AS numbers known to the routing, ascending.
+func (r *Routing) ASNs() []astopo.ASN { return r.asns }
+
+// HasRoute reports whether src has any route to dst.
+func (r *Routing) HasRoute(src, dst astopo.ASN) bool {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return r.routeType[si][di] != RouteNone
+}
+
+// RouteTypeOf returns how src's best route to dst was learned.
+func (r *Routing) RouteTypeOf(src, dst astopo.ASN) RouteType {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
+		return RouteNone
+	}
+	return r.routeType[si][di]
+}
+
+// Path returns the AS path from src to dst, inclusive of both ends, or
+// nil if no route exists. For src == dst it returns [src].
+func (r *Routing) Path(src, dst astopo.ASN) []astopo.ASN {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 || r.routeType[si][di] == RouteNone {
+		return nil
+	}
+	path := []astopo.ASN{src}
+	cur := si
+	for cur != di {
+		nh := r.nextHop[cur][di]
+		if nh < 0 {
+			return nil // inconsistent state; treat as unreachable
+		}
+		cur = int(nh)
+		path = append(path, r.asns[cur])
+		if len(path) > len(r.asns)+1 {
+			return nil // defensive: loop guard
+		}
+	}
+	return path
+}
+
+// PathLen returns the AS-path hop count from src to dst, and false if
+// unreachable.
+func (r *Routing) PathLen(src, dst astopo.ASN) (int, bool) {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 || r.routeType[si][di] == RouteNone {
+		return 0, false
+	}
+	return int(r.pathLen[si][di]), true
+}

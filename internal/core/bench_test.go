@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+func benchSamplesItaly(n int) ([]Sample, *gazetteer.Gazetteer) {
+	gaz := gazetteer.Default()
+	src := rng.New(9100)
+	cities := gaz.MajorInCountry("IT")[:8]
+	out := make([]Sample, n)
+	for i := range out {
+		c := cities[src.Intn(len(cities))]
+		out[i] = cloudAround(src, c, 1)[0]
+	}
+	return out, gaz
+}
+
+func BenchmarkEstimateFootprint(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		samples, gaz := benchSamplesItaly(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimateFootprint(gaz, samples, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMultiScaleFootprint(b *testing.B) {
+	samples, gaz := benchSamplesItaly(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiScaleFootprint(gaz, samples, MultiScaleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyLevel(b *testing.B) {
+	samples, _ := benchSamplesItaly(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifyLevel(samples)
+	}
+}
+
+func BenchmarkMatchPoPs(b *testing.B) {
+	samples, gaz := benchSamplesItaly(10000)
+	fp, err := EstimateFootprint(gaz, samples, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := make([]geo.Point, len(fp.PoPs))
+	for i, p := range fp.PoPs {
+		ref[i] = p.City.Loc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPoPs(fp.PoPs, ref, MatchRadiusKm)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/gazetteer"
+)
+
+// ContainmentThreshold is the paper's §2 rule: an AS is classified by the
+// smallest geographical region containing a large majority (>95%) of its
+// peers.
+const ContainmentThreshold = 0.95
+
+// Classification describes an AS's inferred geographic scope.
+type Classification struct {
+	Level astopo.Level
+	// Place names the dominant region at the chosen level: the city,
+	// state, country, or continental region label.
+	Place string
+	// Share is the fraction of samples inside the dominant region at the
+	// chosen level.
+	Share float64
+}
+
+// ClassifyLevel applies the §2 rule to the database-reported labels of an
+// AS's samples. Samples without a city label never reach this point (the
+// pipeline drops them).
+func ClassifyLevel(samples []Sample) Classification {
+	if len(samples) == 0 {
+		return Classification{Level: astopo.LevelGlobal}
+	}
+	n := float64(len(samples))
+
+	if place, count := majority(samples, func(s Sample) string { return s.City + "/" + s.Country }); float64(count)/n > ContainmentThreshold {
+		return Classification{Level: astopo.LevelCity, Place: place, Share: float64(count) / n}
+	}
+	if place, count := majority(samples, func(s Sample) string { return s.State + "/" + s.Country }); float64(count)/n > ContainmentThreshold {
+		return Classification{Level: astopo.LevelState, Place: place, Share: float64(count) / n}
+	}
+	if place, count := majority(samples, func(s Sample) string { return s.Country }); float64(count)/n > ContainmentThreshold {
+		return Classification{Level: astopo.LevelCountry, Place: place, Share: float64(count) / n}
+	}
+	if place, count := majority(samples, func(s Sample) string { return string(s.Region) }); float64(count)/n > ContainmentThreshold {
+		return Classification{Level: astopo.LevelContinent, Place: place, Share: float64(count) / n}
+	}
+	return Classification{Level: astopo.LevelGlobal, Place: "global", Share: 1}
+}
+
+func majority(samples []Sample, key func(Sample) string) (string, int) {
+	counts := map[string]int{}
+	for _, s := range samples {
+		counts[key(s)]++
+	}
+	best, bestN := "", 0
+	for k, c := range counts {
+		if c > bestN || (c == bestN && k < best) {
+			best, bestN = k, c
+		}
+	}
+	return best, bestN
+}
+
+// DominantRegion returns the continental region holding the most samples
+// — the region an AS is attributed to in Table 1.
+func DominantRegion(samples []Sample) gazetteer.Region {
+	counts := map[gazetteer.Region]int{}
+	for _, s := range samples {
+		counts[s.Region]++
+	}
+	best := gazetteer.Other
+	bestN := -1
+	for r, c := range counts {
+		if c > bestN || (c == bestN && r < best) {
+			best, bestN = r, c
+		}
+	}
+	return best
+}

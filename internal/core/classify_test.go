@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/gazetteer"
+)
+
+func mkSamples(entries ...[4]string) []Sample {
+	// entries: {city, state, country, region}
+	out := make([]Sample, len(entries))
+	for i, e := range entries {
+		out[i] = Sample{City: e[0], State: e[1], Country: e[2], Region: gazetteer.Region(e[3])}
+	}
+	return out
+}
+
+func repeat(s Sample, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+var (
+	milanS   = Sample{City: "Milan", State: "Lombardy", Country: "IT", Region: gazetteer.EU}
+	bergamoS = Sample{City: "Bergamo", State: "Lombardy", Country: "IT", Region: gazetteer.EU}
+	romeS    = Sample{City: "Rome", State: "Lazio", Country: "IT", Region: gazetteer.EU}
+	parisS   = Sample{City: "Paris", State: "Ile-de-France", Country: "FR", Region: gazetteer.EU}
+	nycS     = Sample{City: "New York", State: "New York", Country: "US", Region: gazetteer.NA}
+	tokyoS   = Sample{City: "Tokyo", State: "Kanto", Country: "JP", Region: gazetteer.AS}
+)
+
+func TestClassifyCity(t *testing.T) {
+	samples := append(repeat(milanS, 97), repeat(romeS, 3)...)
+	c := ClassifyLevel(samples)
+	if c.Level != astopo.LevelCity || c.Place != "Milan/IT" {
+		t.Errorf("got %+v", c)
+	}
+	if c.Share <= 0.95 {
+		t.Errorf("share = %v", c.Share)
+	}
+}
+
+func TestClassifyState(t *testing.T) {
+	// Milan + Bergamo are both Lombardy: city fails, state passes.
+	samples := append(repeat(milanS, 60), repeat(bergamoS, 38)...)
+	samples = append(samples, repeat(romeS, 2)...)
+	c := ClassifyLevel(samples)
+	if c.Level != astopo.LevelState || c.Place != "Lombardy/IT" {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestClassifyCountry(t *testing.T) {
+	samples := append(repeat(milanS, 50), repeat(romeS, 48)...)
+	samples = append(samples, repeat(parisS, 2)...)
+	c := ClassifyLevel(samples)
+	if c.Level != astopo.LevelCountry || c.Place != "IT" {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestClassifyContinent(t *testing.T) {
+	samples := append(repeat(milanS, 50), repeat(parisS, 48)...)
+	samples = append(samples, repeat(nycS, 2)...)
+	c := ClassifyLevel(samples)
+	if c.Level != astopo.LevelContinent || c.Place != "EU" {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestClassifyGlobal(t *testing.T) {
+	samples := append(repeat(milanS, 40), repeat(nycS, 35)...)
+	samples = append(samples, repeat(tokyoS, 25)...)
+	c := ClassifyLevel(samples)
+	if c.Level != astopo.LevelGlobal {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestClassifyThresholdIsStrict(t *testing.T) {
+	// Exactly 95% must NOT qualify (the paper requires > 95%).
+	samples := append(repeat(milanS, 95), repeat(romeS, 5)...)
+	c := ClassifyLevel(samples)
+	if c.Level == astopo.LevelCity {
+		t.Errorf("95%% exactly classified as city: %+v", c)
+	}
+	if c.Level != astopo.LevelCountry {
+		t.Errorf("got %+v, want country", c)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if c := ClassifyLevel(nil); c.Level != astopo.LevelGlobal {
+		t.Errorf("empty classification = %+v", c)
+	}
+}
+
+func TestDominantRegion(t *testing.T) {
+	samples := append(repeat(milanS, 10), repeat(nycS, 5)...)
+	if r := DominantRegion(samples); r != gazetteer.EU {
+		t.Errorf("dominant region = %v", r)
+	}
+	if r := DominantRegion(nil); r != gazetteer.Other {
+		t.Errorf("empty dominant region = %v", r)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "eyeballas/internal/geo"
+
+// MatchRadiusKm is the paper's §5 matching radius: a discovered PoP and a
+// reference PoP match if they are within the radius of a city.
+const MatchRadiusKm = 40
+
+// MatchResult summarizes the §5 validation of one AS's discovered PoPs
+// against a reference list.
+type MatchResult struct {
+	NReference  int
+	NDiscovered int
+	// RefMatched is the number of reference PoPs with a discovered PoP
+	// within the radius (numerator of Figure 2a's per-AS percentage).
+	RefMatched int
+	// DiscMatched is the number of discovered PoPs with a reference PoP
+	// within the radius (numerator of Figure 2b's per-AS percentage).
+	DiscMatched int
+}
+
+// RefMatchedFrac is Figure 2a's per-AS value: the fraction of reference
+// (ground-truth) PoPs the technique found. Returns 0 for an empty
+// reference list.
+func (m MatchResult) RefMatchedFrac() float64 {
+	if m.NReference == 0 {
+		return 0
+	}
+	return float64(m.RefMatched) / float64(m.NReference)
+}
+
+// DiscMatchedFrac is Figure 2b's per-AS value: the fraction of discovered
+// PoPs that correspond to a reference PoP. Returns 0 for an empty
+// discovery list.
+func (m MatchResult) DiscMatchedFrac() float64 {
+	if m.NDiscovered == 0 {
+		return 0
+	}
+	return float64(m.DiscMatched) / float64(m.NDiscovered)
+}
+
+// Superset reports whether the discovered set covers every reference PoP
+// (used by the §5 DIMES comparison: "our identified PoPs are a clear
+// superset").
+func (m MatchResult) Superset() bool {
+	return m.NReference > 0 && m.RefMatched == m.NReference
+}
+
+// MatchPoPs compares discovered PoPs against reference PoP locations at
+// the given radius (the paper's city-level matching, §5). Matching is
+// many-to-many: each side's element matches if any element of the other
+// side lies within the radius.
+func MatchPoPs(discovered []PoP, reference []geo.Point, radiusKm float64) MatchResult {
+	m := MatchResult{NReference: len(reference), NDiscovered: len(discovered)}
+	for _, r := range reference {
+		for _, d := range discovered {
+			if geo.DistanceKm(r, d.City.Loc) <= radiusKm || geo.DistanceKm(r, d.PeakLoc) <= radiusKm {
+				m.RefMatched++
+				break
+			}
+		}
+	}
+	for _, d := range discovered {
+		for _, r := range reference {
+			if geo.DistanceKm(r, d.City.Loc) <= radiusKm || geo.DistanceKm(r, d.PeakLoc) <= radiusKm {
+				m.DiscMatched++
+				break
+			}
+		}
+	}
+	return m
+}

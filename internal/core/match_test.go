@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/geo"
+)
+
+func popAt(name string, p geo.Point) PoP {
+	return PoP{City: gazetteer.City{Name: name, Loc: p}, PeakLoc: p}
+}
+
+func TestMatchPoPsBothDirections(t *testing.T) {
+	discovered := []PoP{
+		popAt("a", geo.Point{Lat: 45, Lon: 9}),
+		popAt("b", geo.Point{Lat: 41.9, Lon: 12.5}),
+		popAt("c", geo.Point{Lat: 50, Lon: 20}), // spurious
+	}
+	reference := []geo.Point{
+		{Lat: 45.1, Lon: 9.1},  // matches a
+		{Lat: 41.8, Lon: 12.4}, // matches b
+		{Lat: 38, Lon: 15},     // missed
+	}
+	m := MatchPoPs(discovered, reference, MatchRadiusKm)
+	if m.NReference != 3 || m.NDiscovered != 3 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if m.RefMatched != 2 || m.DiscMatched != 2 {
+		t.Errorf("matched: %+v", m)
+	}
+	if math.Abs(m.RefMatchedFrac()-2.0/3) > 1e-9 || math.Abs(m.DiscMatchedFrac()-2.0/3) > 1e-9 {
+		t.Errorf("fracs: %v %v", m.RefMatchedFrac(), m.DiscMatchedFrac())
+	}
+	if m.Superset() {
+		t.Error("not a superset but reported as one")
+	}
+}
+
+func TestMatchPoPsSuperset(t *testing.T) {
+	discovered := []PoP{
+		popAt("a", geo.Point{Lat: 45, Lon: 9}),
+		popAt("b", geo.Point{Lat: 41.9, Lon: 12.5}),
+	}
+	reference := []geo.Point{{Lat: 45, Lon: 9}}
+	m := MatchPoPs(discovered, reference, MatchRadiusKm)
+	if !m.Superset() {
+		t.Error("superset not detected")
+	}
+	if m.DiscMatchedFrac() != 0.5 {
+		t.Errorf("DiscMatchedFrac = %v", m.DiscMatchedFrac())
+	}
+}
+
+func TestMatchPoPsEmpty(t *testing.T) {
+	m := MatchPoPs(nil, nil, MatchRadiusKm)
+	if m.RefMatchedFrac() != 0 || m.DiscMatchedFrac() != 0 || m.Superset() {
+		t.Errorf("empty match: %+v", m)
+	}
+}
+
+func TestMatchPoPsRadiusBoundary(t *testing.T) {
+	at := geo.Point{Lat: 45, Lon: 9}
+	justInside := geo.Destination(at, 90, 39.5)
+	justOutside := geo.Destination(at, 90, 41)
+	in := MatchPoPs([]PoP{popAt("x", at)}, []geo.Point{justInside}, 40)
+	if in.RefMatched != 1 {
+		t.Error("39.5 km should match at 40 km radius")
+	}
+	out := MatchPoPs([]PoP{popAt("x", at)}, []geo.Point{justOutside}, 40)
+	if out.RefMatched != 0 {
+		t.Error("41 km should not match at 40 km radius")
+	}
+}
+
+func TestMatchUsesPeakOrCityLocation(t *testing.T) {
+	// The discovered PoP's mapped city centre is far from the reference,
+	// but the raw peak is close: must still match (either anchor works).
+	d := PoP{
+		City:    gazetteer.City{Name: "x", Loc: geo.Point{Lat: 45, Lon: 9}},
+		PeakLoc: geo.Point{Lat: 44, Lon: 11},
+	}
+	ref := []geo.Point{{Lat: 44.05, Lon: 11.05}}
+	m := MatchPoPs([]PoP{d}, ref, 40)
+	if m.RefMatched != 1 || m.DiscMatched != 1 {
+		t.Errorf("peak-anchor match failed: %+v", m)
+	}
+}

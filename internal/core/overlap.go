@@ -1,0 +1,90 @@
+package core
+
+import "eyeballas/internal/geo"
+
+// Footprint overlap.
+//
+// The paper's introduction motivates AS geography with peering practice:
+// "AS X will only peer with AS Y if Y's geographic reach is sufficiently
+// large, or X and Y have a certain number of overlapping PoP locations".
+// These metrics quantify exactly those two notions over measured
+// PoP-level footprints.
+
+// Overlap quantifies the geographic relationship between two PoP-level
+// footprints.
+type Overlap struct {
+	// Shared counts PoPs of the smaller footprint with a counterpart of
+	// the other footprint within the radius ("overlapping PoP
+	// locations").
+	Shared int
+	// Jaccard is |intersection| / |union| over radius-matched PoPs.
+	Jaccard float64
+	// MinCoverage is Shared divided by the smaller footprint's size —
+	// 1.0 means one footprint geographically contains the other.
+	MinCoverage float64
+}
+
+// FootprintOverlap computes overlap metrics between two PoP lists at the
+// given radius. Either list being empty yields the zero Overlap.
+func FootprintOverlap(a, b []PoP, radiusKm float64) Overlap {
+	if len(a) == 0 || len(b) == 0 {
+		return Overlap{}
+	}
+	matchedA := 0
+	for _, pa := range a {
+		if anyWithin(pa, b, radiusKm) {
+			matchedA++
+		}
+	}
+	matchedB := 0
+	for _, pb := range b {
+		if anyWithin(pb, a, radiusKm) {
+			matchedB++
+		}
+	}
+	small := len(a)
+	shared := matchedA
+	if len(b) < small {
+		small = len(b)
+		shared = matchedB
+	}
+	// Union counts each side's unmatched PoPs plus the matched pairs
+	// (approximated by the larger matched side to avoid double counting).
+	matchedMax := matchedA
+	if matchedB > matchedMax {
+		matchedMax = matchedB
+	}
+	union := len(a) + len(b) - matchedMax
+	o := Overlap{Shared: shared}
+	if union > 0 {
+		o.Jaccard = float64(matchedMax) / float64(union)
+	}
+	if small > 0 {
+		o.MinCoverage = float64(shared) / float64(small)
+	}
+	return o
+}
+
+func anyWithin(p PoP, others []PoP, radiusKm float64) bool {
+	for _, o := range others {
+		if geo.DistanceKm(p.City.Loc, o.City.Loc) <= radiusKm ||
+			geo.DistanceKm(p.PeakLoc, o.PeakLoc) <= radiusKm {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachKm summarizes a footprint's "geographic reach": the maximum
+// distance between any two of its PoPs (0 for fewer than two PoPs).
+func ReachKm(pops []PoP) float64 {
+	best := 0.0
+	for i := 0; i < len(pops); i++ {
+		for j := i + 1; j < len(pops); j++ {
+			if d := geo.DistanceKm(pops[i].City.Loc, pops[j].City.Loc); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/geo"
+)
+
+func popsAt(pts ...geo.Point) []PoP {
+	out := make([]PoP, len(pts))
+	for i, p := range pts {
+		out[i] = PoP{City: gazetteer.City{Name: p.String(), Loc: p}, PeakLoc: p}
+	}
+	return out
+}
+
+func TestFootprintOverlapIdentical(t *testing.T) {
+	a := popsAt(geo.Point{Lat: 45, Lon: 9}, geo.Point{Lat: 41.9, Lon: 12.5})
+	o := FootprintOverlap(a, a, MatchRadiusKm)
+	if o.Shared != 2 || math.Abs(o.Jaccard-1) > 1e-9 || math.Abs(o.MinCoverage-1) > 1e-9 {
+		t.Errorf("self overlap = %+v", o)
+	}
+}
+
+func TestFootprintOverlapDisjoint(t *testing.T) {
+	a := popsAt(geo.Point{Lat: 45, Lon: 9})
+	b := popsAt(geo.Point{Lat: 35, Lon: 139})
+	o := FootprintOverlap(a, b, MatchRadiusKm)
+	if o.Shared != 0 || o.Jaccard != 0 || o.MinCoverage != 0 {
+		t.Errorf("disjoint overlap = %+v", o)
+	}
+}
+
+func TestFootprintOverlapContainment(t *testing.T) {
+	big := popsAt(
+		geo.Point{Lat: 45, Lon: 9}, geo.Point{Lat: 41.9, Lon: 12.5},
+		geo.Point{Lat: 40.8, Lon: 14.3}, geo.Point{Lat: 38.1, Lon: 13.4})
+	small := popsAt(geo.Point{Lat: 45.01, Lon: 9.01})
+	o := FootprintOverlap(big, small, MatchRadiusKm)
+	if o.MinCoverage != 1 {
+		t.Errorf("containment MinCoverage = %v", o.MinCoverage)
+	}
+	if o.Shared != 1 {
+		t.Errorf("Shared = %d", o.Shared)
+	}
+	if o.Jaccard >= 0.5 {
+		t.Errorf("Jaccard = %v for 1-of-4 overlap", o.Jaccard)
+	}
+}
+
+func TestFootprintOverlapEmpty(t *testing.T) {
+	if o := FootprintOverlap(nil, popsAt(geo.Point{Lat: 1}), 40); o != (Overlap{}) {
+		t.Errorf("empty overlap = %+v", o)
+	}
+}
+
+func TestFootprintOverlapSymmetricMetrics(t *testing.T) {
+	a := popsAt(geo.Point{Lat: 45, Lon: 9}, geo.Point{Lat: 41.9, Lon: 12.5}, geo.Point{Lat: 40.8, Lon: 14.3})
+	b := popsAt(geo.Point{Lat: 45.1, Lon: 9.1}, geo.Point{Lat: 48.8, Lon: 2.3})
+	o1 := FootprintOverlap(a, b, MatchRadiusKm)
+	o2 := FootprintOverlap(b, a, MatchRadiusKm)
+	if math.Abs(o1.Jaccard-o2.Jaccard) > 1e-9 || o1.Shared != o2.Shared || math.Abs(o1.MinCoverage-o2.MinCoverage) > 1e-9 {
+		t.Errorf("asymmetric: %+v vs %+v", o1, o2)
+	}
+}
+
+func TestReachKm(t *testing.T) {
+	if ReachKm(nil) != 0 || ReachKm(popsAt(geo.Point{Lat: 1})) != 0 {
+		t.Error("degenerate reach not 0")
+	}
+	pops := popsAt(geo.Point{Lat: 45.4642, Lon: 9.19}, geo.Point{Lat: 41.9028, Lon: 12.4964})
+	if r := ReachKm(pops); math.Abs(r-477) > 10 {
+		t.Errorf("Milan-Rome reach = %v, want ~477", r)
+	}
+}

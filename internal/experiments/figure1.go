@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/core"
+	"eyeballas/internal/grid"
+)
+
+// Figure1 reproduces the paper's Figure 1: the user-density surface of a
+// large country-level (Italy-wide in the paper: AS 3269) eyeball AS at
+// several kernel bandwidths, showing city-level peaks merging into
+// regional and national blobs as the bandwidth grows.
+type Figure1 struct {
+	ASN        astopo.ASN
+	Name       string
+	NSamples   int
+	Bandwidths []float64
+	Footprints map[float64]*core.Footprint
+}
+
+// Figure1Bandwidths are the paper's three panels.
+var Figure1Bandwidths = []float64{20, 40, 60}
+
+// RunFigure1 picks the Figure 1 subject — the planted Italy-wide
+// national ISP when present and eligible, otherwise the eligible
+// country-level AS with the most samples — and estimates its footprint at
+// each bandwidth.
+func RunFigure1(env *Env, bandwidths []float64) (*Figure1, error) {
+	if len(bandwidths) == 0 {
+		bandwidths = Figure1Bandwidths
+	}
+	subject := pickFigure1Subject(env)
+	if subject == 0 {
+		return nil, fmt.Errorf("experiments: no country-level AS in the target dataset")
+	}
+	rec := env.Dataset.AS(subject)
+	f := &Figure1{
+		ASN:        subject,
+		Name:       env.World.AS(subject).Name,
+		NSamples:   len(rec.Samples),
+		Bandwidths: bandwidths,
+		Footprints: make(map[float64]*core.Footprint),
+	}
+	for _, bw := range bandwidths {
+		fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{BandwidthKm: bw})
+		if err != nil {
+			return nil, err
+		}
+		f.Footprints[bw] = fp
+	}
+	return f, nil
+}
+
+func pickFigure1Subject(env *Env) astopo.ASN {
+	if cs := env.World.CaseStudy(); cs != nil {
+		if rec := env.Dataset.AS(cs.NationalISP); rec != nil {
+			return cs.NationalISP
+		}
+	}
+	best := astopo.ASN(0)
+	bestN := 0
+	for _, rec := range env.Dataset.Records() {
+		if rec.Class.Level == astopo.LevelCountry && len(rec.Samples) > bestN {
+			best, bestN = rec.ASN, len(rec.Samples)
+		}
+	}
+	return best
+}
+
+// Render sketches each panel: peak statistics, the PoP-level footprint
+// list (the paper's §4.2 city list), and an ASCII density map.
+func (f *Figure1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: KDE user density for AS %d (%s), %d samples\n",
+		f.ASN, f.Name, f.NSamples)
+	for _, bw := range f.Bandwidths {
+		fp := f.Footprints[bw]
+		fmt.Fprintf(&b, "\n-- bandwidth %.0f km: %d peaks, %d PoPs, %d footprint partition(s), Dmax %.3g\n",
+			bw, len(fp.Peaks), len(fp.PoPs), len(fp.Partitions), fp.Dmax)
+		fmt.Fprintf(&b, "   PoP-level footprint: %s\n", fp.CityList())
+		b.WriteString(asciiDensity(fp.Grid, 64, 20))
+	}
+	return b.String()
+}
+
+// asciiDensity downsamples a grid into a character heat map.
+func asciiDensity(g *grid.Grid, width, height int) string {
+	ramp := []rune(" .:-=+*#%@")
+	max, _, _ := g.Max()
+	if max == 0 {
+		return "(empty surface)\n"
+	}
+	var b strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		b.WriteString("   |")
+		for col := 0; col < width; col++ {
+			// Sample the block of cells this character covers; take the max.
+			i0 := col * g.W / width
+			i1 := (col+1)*g.W/width - 1
+			j0 := row * g.H / height
+			j1 := (row+1)*g.H/height - 1
+			v := 0.0
+			for j := j0; j <= j1 && j < g.H; j++ {
+				for i := i0; i <= i1 && i < g.W; i++ {
+					if g.At(i, j) > v {
+						v = g.At(i, j)
+					}
+				}
+			}
+			idx := int(v / max * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteRune(ramp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

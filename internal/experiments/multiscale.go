@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/core"
+)
+
+// MultiScale evaluates the §5 future-work refinement implemented in
+// core.MultiScaleFootprint: combining several bandwidths should recover
+// more of the published ground truth than the fixed 40 km analysis
+// without collapsing to the unreliability of the plain 10 km analysis.
+type MultiScale struct {
+	NASes int
+
+	// Mean per-AS recall (% of published PoPs matched) and precision
+	// (% of discovered PoPs matched) for the three strategies.
+	Plain40Recall, Plain40Precision       float64
+	Plain10Recall, Plain10Precision       float64
+	MultiScaleRecall, MultiScalePrecision float64
+	// Mean discovered PoPs per AS for each strategy.
+	Plain40PoPs, Plain10PoPs, MultiScalePoPs float64
+}
+
+// RunMultiScale executes the comparison over the validation ASes.
+func RunMultiScale(env *Env) (*MultiScale, error) {
+	var asns []astopo.ASN
+	for _, asn := range env.Reference.ASNs() {
+		if env.Dataset.AS(asn) != nil {
+			asns = append(asns, asn)
+		}
+	}
+	if len(asns) == 0 {
+		return nil, fmt.Errorf("experiments: no validation ASes")
+	}
+	type row struct {
+		rec40, prec40, rec10, prec10, recMS, precMS float64
+		n40, n10, nMS                               int
+	}
+	rows := make([]row, len(asns))
+	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+		rec := env.Dataset.AS(asn)
+		ref := env.Reference.Locations(asn)
+
+		fp40, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{BandwidthKm: 40})
+		if err != nil {
+			return err
+		}
+		fp10, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{BandwidthKm: 10})
+		if err != nil {
+			return err
+		}
+		ms, err := core.MultiScaleFootprint(env.World.Gazetteer, rec.Samples, core.MultiScaleOptions{})
+		if err != nil {
+			return err
+		}
+		m40 := core.MatchPoPs(fp40.PoPs, ref, core.MatchRadiusKm)
+		m10 := core.MatchPoPs(fp10.PoPs, ref, core.MatchRadiusKm)
+		mMS := core.MatchPoPs(core.MultiScalePoPs(ms), ref, core.MatchRadiusKm)
+		rows[i] = row{
+			rec40: m40.RefMatchedFrac(), prec40: m40.DiscMatchedFrac(), n40: m40.NDiscovered,
+			rec10: m10.RefMatchedFrac(), prec10: m10.DiscMatchedFrac(), n10: m10.NDiscovered,
+			recMS: mMS.RefMatchedFrac(), precMS: mMS.DiscMatchedFrac(), nMS: mMS.NDiscovered,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiScale{NASes: len(asns)}
+	n := float64(len(asns))
+	for _, r := range rows {
+		out.Plain40Recall += 100 * r.rec40 / n
+		out.Plain40Precision += 100 * r.prec40 / n
+		out.Plain10Recall += 100 * r.rec10 / n
+		out.Plain10Precision += 100 * r.prec10 / n
+		out.MultiScaleRecall += 100 * r.recMS / n
+		out.MultiScalePrecision += 100 * r.precMS / n
+		out.Plain40PoPs += float64(r.n40) / n
+		out.Plain10PoPs += float64(r.n10) / n
+		out.MultiScalePoPs += float64(r.nMS) / n
+	}
+	return out, nil
+}
+
+// Render prints the three-strategy comparison.
+func (m *MultiScale) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-scale PoP refinement (§5 future work; %d validation ASes)\n", m.NASes)
+	fmt.Fprintf(&b, "  %-22s %10s %10s %10s\n", "strategy", "PoPs/AS", "recall", "precision")
+	fmt.Fprintf(&b, "  %-22s %10.2f %9.1f%% %9.1f%%\n", "fixed 40 km", m.Plain40PoPs, m.Plain40Recall, m.Plain40Precision)
+	fmt.Fprintf(&b, "  %-22s %10.2f %9.1f%% %9.1f%%\n", "fixed 10 km", m.Plain10PoPs, m.Plain10Recall, m.Plain10Precision)
+	fmt.Fprintf(&b, "  %-22s %10.2f %9.1f%% %9.1f%%\n", "multi-scale 10-80 km", m.MultiScalePoPs, m.MultiScaleRecall, m.MultiScalePrecision)
+	return b.String()
+}

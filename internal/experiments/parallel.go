@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"eyeballas/internal/astopo"
+)
+
+// forEachAS runs fn(i, asns[i]) for every index across all CPUs. Results
+// are index-addressed by the callers, so ordering is preserved; the first
+// error (lowest index) wins.
+func forEachAS(asns []astopo.ASN, fn func(i int, asn astopo.ASN) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(asns) {
+		workers = len(asns)
+	}
+	if workers <= 1 {
+		for i, asn := range asns {
+			if err := fn(i, asn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     = int64(-1)
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = int(^uint(0) >> 1)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(asns) {
+					return
+				}
+				if err := fn(i, asns[i]); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"eyeballas/internal/astopo"
+)
+
+func TestForEachASVisitsAll(t *testing.T) {
+	asns := make([]astopo.ASN, 500)
+	for i := range asns {
+		asns[i] = astopo.ASN(i + 100)
+	}
+	visited := make([]int32, len(asns))
+	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+		if asns[i] != asn {
+			t.Errorf("index %d got asn %d", i, asn)
+		}
+		atomic.AddInt32(&visited[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestForEachASEmpty(t *testing.T) {
+	called := false
+	if err := forEachAS(nil, func(int, astopo.ASN) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("callback invoked for empty input")
+	}
+}
+
+func TestForEachASFirstErrorWins(t *testing.T) {
+	asns := make([]astopo.ASN, 200)
+	for i := range asns {
+		asns[i] = astopo.ASN(i)
+	}
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+		switch i {
+		case 7:
+			return errLow
+		case 150:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachASSingleItem(t *testing.T) {
+	n := 0
+	err := forEachAS([]astopo.ASN{42}, func(i int, asn astopo.ASN) error {
+		n++
+		if i != 0 || asn != 42 {
+			t.Errorf("got (%d, %d)", i, asn)
+		}
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Section5 collects the scalar statistics §5 reports alongside Figure 2:
+// mean discovered PoPs per AS at each bandwidth, the mean published-list
+// length, and the perfect-match fractions.
+type Section5 struct {
+	Bandwidths       []float64
+	MeanDiscovered   map[float64]float64
+	MeanReference    float64
+	PerfectMatchFrac map[float64]float64
+}
+
+// paperSection5 holds the paper's reported values for the comparison
+// columns of the rendered table.
+var paperSection5 = struct {
+	meanDiscovered map[float64]float64
+	meanReference  float64
+	perfectMatch   map[float64]float64
+}{
+	meanDiscovered: map[float64]float64{10: 31.9, 40: 13.6, 80: 7.3},
+	meanReference:  43.7,
+	perfectMatch:   map[float64]float64{10: 0.05, 40: 0.41, 80: 0.60},
+}
+
+// RunSection5 derives the statistics from a finished Figure 2 run.
+func RunSection5(f2 *Figure2) *Section5 {
+	return &Section5{
+		Bandwidths:       f2.Bandwidths,
+		MeanDiscovered:   f2.MeanDiscovered,
+		MeanReference:    f2.MeanReference,
+		PerfectMatchFrac: f2.PerfectMatchFrac,
+	}
+}
+
+// Render prints measured-vs-paper rows.
+func (s *Section5) Render() string {
+	var b strings.Builder
+	b.WriteString("§5 scalar statistics (measured vs paper)\n")
+	fmt.Fprintf(&b, "  mean published PoPs/AS: %.1f (paper: %.1f)\n", s.MeanReference, paperSection5.meanReference)
+	for _, bw := range s.Bandwidths {
+		paperMean, okM := paperSection5.meanDiscovered[bw]
+		paperPerf, okP := paperSection5.perfectMatch[bw]
+		fmt.Fprintf(&b, "  bw %3.0f km: discovered %.1f PoPs/AS", bw, s.MeanDiscovered[bw])
+		if okM {
+			fmt.Fprintf(&b, " (paper: %.1f)", paperMean)
+		}
+		fmt.Fprintf(&b, "; perfect match %.0f%%", 100*s.PerfectMatchFrac[bw])
+		if okP {
+			fmt.Fprintf(&b, " (paper: %.0f%%)", 100*paperPerf)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/core"
+	"eyeballas/internal/p2p"
+	"eyeballas/internal/pipeline"
+)
+
+// Stability is a robustness study motivated by the paper's measurement
+// window: the crawls ran for six months (Jan–Jun 2009), so the technique
+// implicitly assumes footprints are stable under crawl-to-crawl sampling
+// noise. Here the same world is crawled repeatedly with independent crawl
+// seeds ("months") and the PoP-level footprints of common ASes are
+// compared across months.
+type Stability struct {
+	Months   int
+	CommonAS int
+
+	// MeanConsecutiveJaccard averages the PoP-set Jaccard similarity
+	// between consecutive months across common ASes.
+	MeanConsecutiveJaccard float64
+	// MeanFirstLastJaccard compares the first and last month directly.
+	MeanFirstLastJaccard float64
+	// ASRetention is the fraction of month-1 eligible ASes that remain
+	// eligible in every later month.
+	ASRetention float64
+}
+
+// RunStability crawls the world `months` times and scores footprint
+// stability at the paper's default bandwidth.
+func RunStability(env *Env, months int) (*Stability, error) {
+	if months < 2 {
+		return nil, fmt.Errorf("experiments: need >= 2 months, got %d", months)
+	}
+	// Re-run the pipeline per month with a distinct crawl seed. The
+	// world — the geography — is fixed; only sampling varies.
+	pipeCfg := pipeline.DefaultConfig()
+	if len(env.Dataset.Order) < 100 {
+		// Match the scale the env was built at.
+		pipeCfg.MinPeers = 60
+	}
+	datasets := make([]*pipeline.Dataset, months)
+	for m := 0; m < months; m++ {
+		ds, _, err := pipeline.Run(env.World, p2p.DefaultConfig(), pipeCfg, env.Seed+uint64(1000+m))
+		if err != nil {
+			return nil, err
+		}
+		datasets[m] = ds
+	}
+
+	// Common ASes: eligible every month.
+	var common []astopo.ASN
+	for _, asn := range datasets[0].Order {
+		everywhere := true
+		for _, ds := range datasets[1:] {
+			if ds.AS(asn) == nil {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			common = append(common, asn)
+		}
+	}
+	st := &Stability{Months: months, CommonAS: len(common)}
+	if len(datasets[0].Order) > 0 {
+		st.ASRetention = float64(len(common)) / float64(len(datasets[0].Order))
+	}
+	if len(common) == 0 {
+		return nil, fmt.Errorf("experiments: no AS eligible in every month")
+	}
+
+	// Per-month PoP city sets per common AS. Workers write into an
+	// index-addressed slice (no shared map writes); the lookup map is
+	// assembled afterwards.
+	popSets := make([]map[astopo.ASN]map[string]bool, months)
+	for m, ds := range datasets {
+		sets := make([]map[string]bool, len(common))
+		err := forEachAS(common, func(i int, asn astopo.ASN) error {
+			rec := ds.AS(asn)
+			fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
+			if err != nil {
+				return err
+			}
+			set := make(map[string]bool, len(fp.PoPs))
+			for _, p := range fp.PoPs {
+				set[p.City.Name+"/"+p.City.Country] = true
+			}
+			sets[i] = set
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		popSets[m] = make(map[astopo.ASN]map[string]bool, len(common))
+		for i, asn := range common {
+			popSets[m][asn] = sets[i]
+		}
+	}
+
+	jaccard := func(a, b map[string]bool) float64 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		inter := 0
+		for k := range a {
+			if b[k] {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			return 1
+		}
+		return float64(inter) / float64(union)
+	}
+
+	var consecutive, firstLast float64
+	for _, asn := range common {
+		for m := 1; m < months; m++ {
+			consecutive += jaccard(popSets[m-1][asn], popSets[m][asn])
+		}
+		firstLast += jaccard(popSets[0][asn], popSets[months-1][asn])
+	}
+	st.MeanConsecutiveJaccard = consecutive / float64(len(common)*(months-1))
+	st.MeanFirstLastJaccard = firstLast / float64(len(common))
+	return st, nil
+}
+
+// Render prints the stability scores.
+func (s *Stability) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Temporal stability (%d independent monthly crawls; %d common ASes, %.0f%% retention)\n",
+		s.Months, s.CommonAS, 100*s.ASRetention)
+	fmt.Fprintf(&b, "  mean consecutive-month PoP-set Jaccard: %.3f\n", s.MeanConsecutiveJaccard)
+	fmt.Fprintf(&b, "  mean first-vs-last-month Jaccard:       %.3f\n", s.MeanFirstLastJaccard)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/p2p"
+)
+
+// Table1 is the profile of the target eyeball ASes — the reproduction of
+// the paper's Table 1: per region, the number of usable peers by crawl
+// source and the number of ASes by geographic level.
+type Table1 struct {
+	Regions []gazetteer.Region
+	Peers   map[gazetteer.Region]map[p2p.App]int
+	Levels  map[gazetteer.Region]map[astopo.Level]int
+	// Totals across the profiled regions.
+	TotalASes  int
+	TotalPeers int
+}
+
+// RunTable1 profiles the target dataset over the paper's three regions.
+func RunTable1(env *Env) *Table1 {
+	t := &Table1{
+		Regions: []gazetteer.Region{gazetteer.NA, gazetteer.EU, gazetteer.AS},
+		Peers:   make(map[gazetteer.Region]map[p2p.App]int),
+		Levels:  make(map[gazetteer.Region]map[astopo.Level]int),
+	}
+	profiled := map[gazetteer.Region]bool{}
+	for _, r := range t.Regions {
+		profiled[r] = true
+		t.Peers[r] = make(map[p2p.App]int)
+		t.Levels[r] = make(map[astopo.Level]int)
+	}
+	for _, rec := range env.Dataset.Records() {
+		if !profiled[rec.Region] {
+			continue
+		}
+		for app, n := range rec.PeersByApp {
+			t.Peers[rec.Region][app] += n
+		}
+		t.Levels[rec.Region][rec.Class.Level]++
+		t.TotalASes++
+		t.TotalPeers += len(rec.Samples)
+	}
+	return t
+}
+
+// Render produces the paper-style text table.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Profile of the target eyeball ASes (%d ASes, %d peers)\n", t.TotalASes, t.TotalPeers)
+	fmt.Fprintf(&b, "%-7s %11s %11s %11s | %6s %6s %8s\n",
+		"Region", "Kad", "Gnu", "BT", "City", "State", "Country")
+	for _, r := range t.Regions {
+		fmt.Fprintf(&b, "%-7s %11d %11d %11d | %6d %6d %8d\n",
+			r,
+			t.Peers[r][p2p.Kad], t.Peers[r][p2p.Gnutella], t.Peers[r][p2p.BitTorrent],
+			t.Levels[r][astopo.LevelCity], t.Levels[r][astopo.LevelState], t.Levels[r][astopo.LevelCountry])
+	}
+	return b.String()
+}
+
+// CSV renders machine-readable rows: region,kad,gnutella,bittorrent,city,state,country.
+func (t *Table1) CSV() string {
+	var b strings.Builder
+	b.WriteString("region,kad,gnutella,bittorrent,city,state,country\n")
+	for _, r := range t.Regions {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d\n",
+			r,
+			t.Peers[r][p2p.Kad], t.Peers[r][p2p.Gnutella], t.Peers[r][p2p.BitTorrent],
+			t.Levels[r][astopo.LevelCity], t.Levels[r][astopo.LevelState], t.Levels[r][astopo.LevelCountry])
+	}
+	return b.String()
+}

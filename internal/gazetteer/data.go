@@ -1,0 +1,16 @@
+package gazetteer
+
+import "eyeballas/internal/geo"
+
+// mk is the compact constructor the embedded data files use for major
+// cities.
+func mk(name, state, country string, region Region, lat, lon float64, pop int) City {
+	return City{
+		Name:    name,
+		State:   state,
+		Country: country,
+		Region:  region,
+		Loc:     geo.Point{Lat: lat, Lon: lon},
+		Pop:     pop,
+	}
+}

@@ -1,0 +1,88 @@
+package gazetteer
+
+// otherCities returns gazetteer entries for South America, Africa and
+// Oceania. The paper profiles only NA/EU/AS, but the synthetic world is
+// global so that region classification (continent vs global) has real
+// negative cases.
+func otherCities() []City {
+	return []City{
+		// South America
+		mk("Sao Paulo", "Sao Paulo", "BR", SA, -23.5505, -46.6333, 22000000),
+		mk("Rio de Janeiro", "Rio de Janeiro", "BR", SA, -22.9068, -43.1729, 13500000),
+		mk("Belo Horizonte", "Minas Gerais", "BR", SA, -19.9167, -43.9345, 6000000),
+		mk("Brasilia", "Federal District", "BR", SA, -15.8267, -47.9218, 4700000),
+		mk("Porto Alegre", "Rio Grande do Sul", "BR", SA, -30.0346, -51.2177, 4300000),
+		mk("Recife", "Pernambuco", "BR", SA, -8.0476, -34.8770, 4100000),
+		mk("Fortaleza", "Ceara", "BR", SA, -3.7319, -38.5267, 4100000),
+		mk("Salvador", "Bahia", "BR", SA, -12.9714, -38.5014, 3900000),
+		mk("Curitiba", "Parana", "BR", SA, -25.4284, -49.2733, 3700000),
+		mk("Buenos Aires", "Buenos Aires", "AR", SA, -34.6037, -58.3816, 15400000),
+		mk("Cordoba", "Cordoba", "AR", SA, -31.4201, -64.1888, 1600000),
+		mk("Rosario", "Santa Fe", "AR", SA, -32.9442, -60.6505, 1400000),
+		mk("Santiago", "Santiago Metropolitan", "CL", SA, -33.4489, -70.6693, 7000000),
+		mk("Valparaiso", "Valparaiso", "CL", SA, -33.0472, -71.6127, 1000000),
+		mk("Lima", "Lima", "PE", SA, -12.0464, -77.0428, 10700000),
+		mk("Bogota", "Bogota", "CO", SA, 4.7110, -74.0721, 11000000),
+		mk("Medellin", "Antioquia", "CO", SA, 6.2476, -75.5658, 4000000),
+		mk("Cali", "Valle del Cauca", "CO", SA, 3.4516, -76.5320, 2800000),
+		mk("Quito", "Pichincha", "EC", SA, -0.1807, -78.4678, 2800000),
+		mk("Guayaquil", "Guayas", "EC", SA, -2.1710, -79.9224, 3100000),
+		mk("Caracas", "Capital District", "VE", SA, 10.4806, -66.9036, 2900000),
+		mk("Montevideo", "Montevideo", "UY", SA, -34.9011, -56.1645, 1800000),
+		mk("Asuncion", "Asuncion", "PY", SA, -25.2637, -57.5759, 2300000),
+		mk("La Paz", "La Paz", "BO", SA, -16.4897, -68.1193, 1900000),
+
+		// Africa
+		mk("Cairo", "Cairo", "EG", AF, 30.0444, 31.2357, 21000000),
+		mk("Alexandria", "Alexandria", "EG", AF, 31.2001, 29.9187, 5400000),
+		mk("Lagos", "Lagos", "NG", AF, 6.5244, 3.3792, 15000000),
+		mk("Abuja", "FCT", "NG", AF, 9.0765, 7.3986, 3600000),
+		mk("Kano", "Kano", "NG", AF, 12.0022, 8.5920, 4100000),
+		mk("Johannesburg", "Gauteng", "ZA", AF, -26.2041, 28.0473, 10000000),
+		mk("Cape Town", "Western Cape", "ZA", AF, -33.9249, 18.4241, 4700000),
+		mk("Durban", "KwaZulu-Natal", "ZA", AF, -29.8587, 31.0218, 3900000),
+		mk("Pretoria", "Gauteng", "ZA", AF, -25.7479, 28.2293, 2900000),
+		mk("Nairobi", "Nairobi", "KE", AF, -1.2921, 36.8219, 5100000),
+		mk("Mombasa", "Mombasa", "KE", AF, -4.0435, 39.6682, 1300000),
+		mk("Addis Ababa", "Addis Ababa", "ET", AF, 9.0250, 38.7469, 5200000),
+		mk("Dar es Salaam", "Dar es Salaam", "TZ", AF, -6.7924, 39.2083, 7000000),
+		mk("Kampala", "Central", "UG", AF, 0.3476, 32.5825, 3700000),
+		mk("Accra", "Greater Accra", "GH", AF, 5.6037, -0.1870, 4200000),
+		mk("Abidjan", "Abidjan", "CI", AF, 5.3600, -4.0083, 5500000),
+		mk("Dakar", "Dakar", "SN", AF, 14.7167, -17.4677, 3900000),
+		mk("Casablanca", "Casablanca-Settat", "MA", AF, 33.5731, -7.5898, 4300000),
+		mk("Rabat", "Rabat-Sale-Kenitra", "MA", AF, 34.0209, -6.8416, 1900000),
+		mk("Algiers", "Algiers", "DZ", AF, 36.7538, 3.0588, 3900000),
+		mk("Tunis", "Tunis", "TN", AF, 36.8065, 10.1815, 2700000),
+		mk("Kinshasa", "Kinshasa", "CD", AF, -4.4419, 15.2663, 15000000),
+		mk("Luanda", "Luanda", "AO", AF, -8.8390, 13.2894, 8600000),
+		mk("Khartoum", "Khartoum", "SD", AF, 15.5007, 32.5599, 6000000),
+		mk("Harare", "Harare", "ZW", AF, -17.8252, 31.0335, 2100000),
+		mk("Lusaka", "Lusaka", "ZM", AF, -15.3875, 28.3228, 2900000),
+		mk("Maputo", "Maputo", "MZ", AF, -25.9692, 32.5732, 1800000),
+
+		// Oceania
+		mk("Sydney", "New South Wales", "AU", OC, -33.8688, 151.2093, 5300000),
+		mk("Melbourne", "Victoria", "AU", OC, -37.8136, 144.9631, 5100000),
+		mk("Brisbane", "Queensland", "AU", OC, -27.4698, 153.0251, 2600000),
+		mk("Perth", "Western Australia", "AU", OC, -31.9505, 115.8605, 2100000),
+		mk("Adelaide", "South Australia", "AU", OC, -34.9285, 138.6007, 1400000),
+		mk("Canberra", "ACT", "AU", OC, -35.2809, 149.1300, 460000),
+		mk("Hobart", "Tasmania", "AU", OC, -42.8821, 147.3272, 250000),
+		mk("Darwin", "Northern Territory", "AU", OC, -12.4634, 130.8456, 150000),
+		mk("Auckland", "Auckland", "NZ", OC, -36.8485, 174.7633, 1700000),
+		mk("Wellington", "Wellington", "NZ", OC, -41.2866, 174.7756, 420000),
+		mk("Christchurch", "Canterbury", "NZ", OC, -43.5321, 172.6362, 400000),
+		mk("Suva", "Central", "FJ", OC, -18.1248, 178.4501, 190000),
+	}
+}
+
+// worldCities assembles the full embedded gazetteer.
+func worldCities() []City {
+	var all []City
+	all = append(all, europeanCities()...)
+	all = append(all, northAmericanCities()...)
+	all = append(all, asianCities()...)
+	all = append(all, otherCities()...)
+	return all
+}

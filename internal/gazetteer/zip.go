@@ -1,0 +1,204 @@
+package gazetteer
+
+import (
+	"math"
+
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+// ZipCentroid is a synthetic postal-code centroid inside a city's metro
+// area. The paper's geolocation databases resolve IPs to zip-code
+// coordinates (§2: "all users in a given zip code are mapped to the same
+// coordinates"); the synthetic databases in internal/geodb snap user
+// locations to these centroids the same way.
+type ZipCentroid struct {
+	City    string // city name the zip belongs to
+	Country string // ISO country code of the city
+	Loc     geo.Point
+}
+
+// ZipPlan describes how zip centroids are synthesized per city.
+type ZipPlan struct {
+	// PeoplePerZip controls how many centroids a city gets:
+	// count = clamp(Pop/PeoplePerZip, MinPerCity, MaxPerCity).
+	PeoplePerZip int
+	MinPerCity   int
+	MaxPerCity   int
+}
+
+// DefaultZipPlan mirrors the density of real metropolitan postal systems
+// closely enough for the pipeline: one centroid per ~60k inhabitants,
+// between 3 and 48 per city.
+func DefaultZipPlan() ZipPlan {
+	return ZipPlan{PeoplePerZip: 60000, MinPerCity: 3, MaxPerCity: 48}
+}
+
+// zipCount returns the number of centroids a city receives under the plan.
+func (p ZipPlan) zipCount(c City) int {
+	n := c.Pop / p.PeoplePerZip
+	if n < p.MinPerCity {
+		n = p.MinPerCity
+	}
+	if n > p.MaxPerCity {
+		n = p.MaxPerCity
+	}
+	return n
+}
+
+// SynthesizeZips deterministically generates zip centroids for every city
+// in the gazetteer. Centroids are scattered within each city's metro
+// radius with a density that decays away from the centre (triangular
+// radial profile), mimicking real population layout.
+func SynthesizeZips(g *Gazetteer, plan ZipPlan, src *rng.Source) []ZipCentroid {
+	var out []ZipCentroid
+	for i := 0; i < g.Len(); i++ {
+		c := g.City(i)
+		s := src.SplitN("zips", i)
+		n := plan.zipCount(c)
+		r := c.RadiusKm()
+		for j := 0; j < n; j++ {
+			// sqrt(u)*triangular pull toward centre: u1*u2 gives a
+			// density linearly decreasing in radius.
+			dist := r * s.Float64() * s.Float64()
+			bearing := s.Range(0, 360)
+			out = append(out, ZipCentroid{
+				City:    c.Name,
+				Country: c.Country,
+				Loc:     geo.Destination(c.Loc, bearing, dist),
+			})
+		}
+	}
+	return out
+}
+
+// ZipIndex answers nearest-centroid queries, used by the synthetic
+// geolocation databases to snap an exact user location to zip resolution.
+type ZipIndex struct {
+	zips  []ZipCentroid
+	cells map[cellKey][]int
+}
+
+// NewZipIndex builds an index over the given centroids.
+func NewZipIndex(zips []ZipCentroid) *ZipIndex {
+	idx := &ZipIndex{zips: append([]ZipCentroid(nil), zips...), cells: make(map[cellKey][]int)}
+	for i, z := range idx.zips {
+		k := keyFor(z.Loc)
+		idx.cells[k] = append(idx.cells[k], i)
+	}
+	return idx
+}
+
+// Len returns the number of centroids indexed.
+func (z *ZipIndex) Len() int { return len(z.zips) }
+
+// Nearest returns the centroid closest to p searching outward up to maxKm.
+// ok is false if no centroid lies within maxKm.
+func (z *ZipIndex) Nearest(p geo.Point, maxKm float64) (ZipCentroid, bool) {
+	bestD := math.Inf(1)
+	bestI := -1
+	// Search growing rings of cells so the common (dense) case stays cheap.
+	for ring := 25.0; ring <= maxKm*2+25; ring *= 2 {
+		limit := math.Min(ring, maxKm)
+		for _, k := range cellsWithin(p, limit) {
+			for _, i := range z.cells[k] {
+				d := geo.DistanceKm(p, z.zips[i].Loc)
+				if d < bestD {
+					bestD, bestI = d, i
+				}
+			}
+		}
+		if bestI >= 0 && bestD <= limit {
+			break
+		}
+		if limit >= maxKm {
+			break
+		}
+	}
+	if bestI < 0 || bestD > maxKm {
+		return ZipCentroid{}, false
+	}
+	return z.zips[bestI], true
+}
+
+// KNearest returns up to k centroids within maxKm of p, nearest first.
+// Real geolocation databases resolve the same user to different nearby
+// postal codes; callers model that by choosing among the closest few.
+func (z *ZipIndex) KNearest(p geo.Point, k int, maxKm float64) []ZipCentroid {
+	out := make([]ZipCentroid, k)
+	n := z.KNearestInto(p, maxKm, out)
+	return out[:n]
+}
+
+// KNearestInto is the allocation-free variant of KNearest: it fills out
+// (whose length sets k) with up to k nearest centroids within maxKm and
+// returns how many were found. It first scans a tight radius and widens
+// only if nothing is found, which keeps the hot path (users in metro
+// areas, zips nearby) cheap — this is the pipeline's innermost query.
+func (z *ZipIndex) KNearestInto(p geo.Point, maxKm float64, out []ZipCentroid) int {
+	const tightKm = 40
+	if maxKm > tightKm {
+		if n := z.kNearestScan(p, tightKm, out); n == len(out) {
+			return n
+		}
+	}
+	return z.kNearestScan(p, maxKm, out)
+}
+
+func (z *ZipIndex) kNearestScan(p geo.Point, maxKm float64, out []ZipCentroid) int {
+	k := len(out)
+	// Fixed-size top-k by insertion; k is small (≤ 8 in practice).
+	var dists [8]float64
+	if k > len(dists) {
+		k = len(dists)
+		out = out[:k]
+	}
+	n := 0
+	dLat := maxKm/111.19 + 1e-9
+	cos := math.Cos(p.Lat * math.Pi / 180)
+	if cos < 0.05 {
+		cos = 0.05
+	}
+	dLon := maxKm/(111.19*cos) + 1e-9
+	minLat := int(math.Floor(p.Lat - dLat))
+	maxLat := int(math.Floor(p.Lat + dLat))
+	minLon := int(math.Floor(p.Lon - dLon))
+	maxLon := int(math.Floor(p.Lon + dLon))
+	for la := minLat; la <= maxLat; la++ {
+		for lo := minLon; lo <= maxLon; lo++ {
+			wrapped := lo
+			for wrapped < -180 {
+				wrapped += 360
+			}
+			for wrapped >= 180 {
+				wrapped -= 360
+			}
+			for _, i := range z.cells[cellKey{lat: la, lon: wrapped}] {
+				d := geo.DistanceKm(p, z.zips[i].Loc)
+				if d > maxKm {
+					continue
+				}
+				if n == k && d >= dists[k-1] {
+					continue
+				}
+				// Insert in sorted position, dropping the last element
+				// when full.
+				pos := n
+				if pos == k {
+					pos = k - 1
+				}
+				for pos > 0 && dists[pos-1] > d {
+					dists[pos] = dists[pos-1]
+					out[pos] = out[pos-1]
+					pos--
+				}
+				dists[pos] = d
+				out[pos] = z.zips[i]
+				if n < k {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package geodb
+
+import (
+	"testing"
+)
+
+func BenchmarkLocate(b *testing.B) {
+	// Reuse the package test fixture (one world + crawl).
+	w, peers := testSetup(b)
+	if len(peers) == 0 {
+		b.Fatal("no peers")
+	}
+	db := NewGeoCity(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := peers[i%len(peers)]
+		db.Locate(p.IP, p.TrueLoc)
+	}
+}
+
+func BenchmarkLocatePair(b *testing.B) {
+	w, peers := testSetup(b)
+	a := NewGeoCity(w)
+	c := NewIPLoc(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := peers[i%len(peers)]
+		ra := a.Locate(p.IP, p.TrueLoc)
+		rb := c.Locate(p.IP, p.TrueLoc)
+		CrossError(ra, rb)
+	}
+}

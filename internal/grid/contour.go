@@ -1,0 +1,97 @@
+package grid
+
+import "eyeballas/internal/geo"
+
+// ContourLines extracts iso-contour line segments at the given level using
+// marching squares with linear interpolation, returned as segment pairs
+// (p1, p2) in km-space. The experiment CLIs use these to sketch
+// geo-footprint outlines (Figure 1's contour at the footprint level);
+// topology assembly into closed polygons is not needed for any paper
+// artifact, so segments are returned directly.
+func (g *Grid) ContourLines(level float64) [][2]geo.XY {
+	var segs [][2]geo.XY
+	// Walk 2×2 cell blocks; corner k value layout:
+	//   3 --- 2
+	//   |     |
+	//   0 --- 1
+	for j := 0; j+1 < g.H; j++ {
+		for i := 0; i+1 < g.W; i++ {
+			v0 := g.At(i, j)
+			v1 := g.At(i+1, j)
+			v2 := g.At(i+1, j+1)
+			v3 := g.At(i, j+1)
+			var caseIdx int
+			if v0 >= level {
+				caseIdx |= 1
+			}
+			if v1 >= level {
+				caseIdx |= 2
+			}
+			if v2 >= level {
+				caseIdx |= 4
+			}
+			if v3 >= level {
+				caseIdx |= 8
+			}
+			if caseIdx == 0 || caseIdx == 15 {
+				continue
+			}
+			c0 := g.Center(i, j)
+			c1 := g.Center(i+1, j)
+			c2 := g.Center(i+1, j+1)
+			c3 := g.Center(i, j+1)
+			// Edge midpoints with interpolation; edge order: bottom(0-1),
+			// right(1-2), top(3-2), left(0-3).
+			bottom := interp(c0, c1, v0, v1, level)
+			right := interp(c1, c2, v1, v2, level)
+			top := interp(c3, c2, v3, v2, level)
+			left := interp(c0, c3, v0, v3, level)
+			emit := func(a, b geo.XY) { segs = append(segs, [2]geo.XY{a, b}) }
+			switch caseIdx {
+			case 1, 14:
+				emit(left, bottom)
+			case 2, 13:
+				emit(bottom, right)
+			case 3, 12:
+				emit(left, right)
+			case 4, 11:
+				emit(right, top)
+			case 6, 9:
+				emit(bottom, top)
+			case 7, 8:
+				emit(left, top)
+			case 5: // saddle: resolve by centre value
+				if (v0+v1+v2+v3)/4 >= level {
+					emit(left, top)
+					emit(bottom, right)
+				} else {
+					emit(left, bottom)
+					emit(right, top)
+				}
+			case 10: // opposite saddle
+				if (v0+v1+v2+v3)/4 >= level {
+					emit(left, bottom)
+					emit(right, top)
+				} else {
+					emit(left, top)
+					emit(bottom, right)
+				}
+			}
+		}
+	}
+	return segs
+}
+
+func interp(a, b geo.XY, va, vb, level float64) geo.XY {
+	if va == vb {
+		return geo.XY{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2}
+	}
+	t := (level - va) / (vb - va)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return geo.XY{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}
+}

@@ -1,0 +1,282 @@
+// Package grid provides dense two-dimensional float grids in a local
+// km-space, with the operations kernel density surfaces need: local-maximum
+// (peak) detection with plateau handling, thresholded connected components
+// (the paper's footprint "partitions"), and iso-contour extraction.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"eyeballas/internal/geo"
+)
+
+// Grid is a dense row-major 2-D grid over a rectangle of local km-space.
+// Cell (i, j) covers [MinX + i·Cell, MinX + (i+1)·Cell) ×
+// [MinY + j·Cell, MinY + (j+1)·Cell); values are attributed to cell
+// centres.
+type Grid struct {
+	MinX, MinY float64 // lower-left corner, km
+	Cell       float64 // cell edge, km
+	W, H       int     // columns (x), rows (y)
+	Data       []float64
+}
+
+// New allocates a zeroed grid. It panics on non-positive dimensions or
+// cell size.
+func New(minX, minY, cell float64, w, h int) *Grid {
+	if w <= 0 || h <= 0 || cell <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d cell %v", w, h, cell))
+	}
+	return &Grid{MinX: minX, MinY: minY, Cell: cell, W: w, H: h, Data: make([]float64, w*h)}
+}
+
+// Index returns the flat index of cell (i, j). No bounds check.
+func (g *Grid) Index(i, j int) int { return j*g.W + i }
+
+// At returns the value of cell (i, j).
+func (g *Grid) At(i, j int) float64 { return g.Data[j*g.W+i] }
+
+// Set assigns the value of cell (i, j).
+func (g *Grid) Set(i, j int, v float64) { g.Data[j*g.W+i] = v }
+
+// Add accumulates into cell (i, j).
+func (g *Grid) Add(i, j int, v float64) { g.Data[j*g.W+i] += v }
+
+// Center returns the km-space coordinates of the centre of cell (i, j).
+func (g *Grid) Center(i, j int) geo.XY {
+	return geo.XY{X: g.MinX + (float64(i)+0.5)*g.Cell, Y: g.MinY + (float64(j)+0.5)*g.Cell}
+}
+
+// CellOf returns the cell containing the km-space point, and whether it is
+// inside the grid.
+func (g *Grid) CellOf(p geo.XY) (i, j int, ok bool) {
+	i = int(math.Floor((p.X - g.MinX) / g.Cell))
+	j = int(math.Floor((p.Y - g.MinY) / g.Cell))
+	return i, j, i >= 0 && i < g.W && j >= 0 && j < g.H
+}
+
+// Max returns the maximum cell value and its cell coordinates. An empty
+// (all-zero) grid returns 0 at (0, 0).
+func (g *Grid) Max() (v float64, i, j int) {
+	v = g.Data[0]
+	for idx, d := range g.Data {
+		if d > v {
+			v, i, j = d, idx%g.W, idx/g.W
+		}
+	}
+	return v, i, j
+}
+
+// Sum returns the sum of all cell values.
+func (g *Grid) Sum() float64 {
+	s := 0.0
+	for _, d := range g.Data {
+		s += d
+	}
+	return s
+}
+
+// Integral returns Sum·Cell², the approximate integral of the surface.
+func (g *Grid) Integral() float64 { return g.Sum() * g.Cell * g.Cell }
+
+// Scale multiplies every cell by f.
+func (g *Grid) Scale(f float64) {
+	for i := range g.Data {
+		g.Data[i] *= f
+	}
+}
+
+// Peak is a strict local maximum of the surface.
+type Peak struct {
+	I, J  int     // cell coordinates
+	XY    geo.XY  // cell-centre coordinates, km
+	Value float64 // surface value at the peak
+}
+
+var neighbours = [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+
+// Peaks returns the local maxima of the surface, highest first. A cell is
+// a peak if no 8-neighbour exceeds it and at least one in-grid neighbour
+// is strictly lower; plateaus (connected equal-valued regions whose entire
+// border is lower) contribute a single representative cell each. Cells
+// with value <= floor are ignored.
+func (g *Grid) Peaks(floor float64) []Peak {
+	visited := make([]bool, len(g.Data))
+	var peaks []Peak
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			idx := g.Index(i, j)
+			if visited[idx] || g.Data[idx] <= floor {
+				continue
+			}
+			v := g.Data[idx]
+			// Flood-fill the plateau of equal value containing (i, j),
+			// checking that nothing around it is higher.
+			stack := [][2]int{{i, j}}
+			visited[idx] = true
+			var plateau [][2]int
+			isPeak := true
+			hasLower := false
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				plateau = append(plateau, c)
+				for _, d := range neighbours {
+					ni, nj := c[0]+d[0], c[1]+d[1]
+					if ni < 0 || ni >= g.W || nj < 0 || nj >= g.H {
+						continue
+					}
+					nv := g.At(ni, nj)
+					switch {
+					case nv > v:
+						isPeak = false
+					case nv < v:
+						hasLower = true
+					default:
+						nidx := g.Index(ni, nj)
+						if !visited[nidx] {
+							visited[nidx] = true
+							stack = append(stack, [2]int{ni, nj})
+						}
+					}
+				}
+			}
+			if !isPeak || !hasLower {
+				continue
+			}
+			// Representative: plateau centroid snapped to the member cell
+			// nearest to it, keeping the peak on the plateau.
+			var cx, cy float64
+			for _, c := range plateau {
+				cx += float64(c[0])
+				cy += float64(c[1])
+			}
+			cx /= float64(len(plateau))
+			cy /= float64(len(plateau))
+			best := plateau[0]
+			bestD := math.Inf(1)
+			for _, c := range plateau {
+				d := (float64(c[0])-cx)*(float64(c[0])-cx) + (float64(c[1])-cy)*(float64(c[1])-cy)
+				if d < bestD {
+					bestD, best = d, c
+				}
+			}
+			peaks = append(peaks, Peak{I: best[0], J: best[1], XY: g.Center(best[0], best[1]), Value: v})
+		}
+	}
+	sortPeaks(peaks)
+	return peaks
+}
+
+func sortPeaks(ps []Peak) {
+	// Insertion sort by descending value then ascending (J, I); peak
+	// counts are small.
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && less(p, ps[j]) {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+func less(a, b Peak) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.I < b.I
+}
+
+// Component is a connected region of cells at or above a threshold — one
+// partition of a geo-footprint.
+type Component struct {
+	Cells  int     // number of member cells
+	AreaKm float64 // Cells · Cell²
+	Mass   float64 // sum of member values · Cell²
+	PeakV  float64 // maximum value inside the component
+	// Bounding box in cell coordinates, inclusive.
+	MinI, MinJ, MaxI, MaxJ int
+}
+
+// Components returns the 8-connected components of {cells >= level},
+// largest mass first.
+func (g *Grid) Components(level float64) []Component {
+	visited := make([]bool, len(g.Data))
+	var comps []Component
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			idx := g.Index(i, j)
+			if visited[idx] || g.Data[idx] < level {
+				continue
+			}
+			c := Component{MinI: i, MinJ: j, MaxI: i, MaxJ: j}
+			stack := [][2]int{{i, j}}
+			visited[idx] = true
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				v := g.At(cur[0], cur[1])
+				c.Cells++
+				c.Mass += v
+				if v > c.PeakV {
+					c.PeakV = v
+				}
+				if cur[0] < c.MinI {
+					c.MinI = cur[0]
+				}
+				if cur[0] > c.MaxI {
+					c.MaxI = cur[0]
+				}
+				if cur[1] < c.MinJ {
+					c.MinJ = cur[1]
+				}
+				if cur[1] > c.MaxJ {
+					c.MaxJ = cur[1]
+				}
+				for _, d := range neighbours {
+					ni, nj := cur[0]+d[0], cur[1]+d[1]
+					if ni < 0 || ni >= g.W || nj < 0 || nj >= g.H {
+						continue
+					}
+					nidx := g.Index(ni, nj)
+					if !visited[nidx] && g.Data[nidx] >= level {
+						visited[nidx] = true
+						stack = append(stack, [2]int{ni, nj})
+					}
+				}
+			}
+			c.AreaKm = float64(c.Cells) * g.Cell * g.Cell
+			c.Mass *= g.Cell * g.Cell
+			comps = append(comps, c)
+		}
+	}
+	// Sort by descending mass.
+	for i := 1; i < len(comps); i++ {
+		c := comps[i]
+		j := i - 1
+		for j >= 0 && c.Mass > comps[j].Mass {
+			comps[j+1] = comps[j]
+			j--
+		}
+		comps[j+1] = c
+	}
+	return comps
+}
+
+// MassAbove returns the integral of the surface restricted to cells with
+// value >= level.
+func (g *Grid) MassAbove(level float64) float64 {
+	s := 0.0
+	for _, d := range g.Data {
+		if d >= level {
+			s += d
+		}
+	}
+	return s * g.Cell * g.Cell
+}

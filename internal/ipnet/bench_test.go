@@ -1,0 +1,57 @@
+package ipnet
+
+import (
+	"testing"
+)
+
+func benchTable(nPrefixes int) (*Table[int], []Addr) {
+	tb := NewTable[int]()
+	al := NewAllocator()
+	var probes []Addr
+	for i := 0; i < nPrefixes; i++ {
+		p, err := al.Alloc(16 + i%8)
+		if err != nil {
+			panic(err)
+		}
+		tb.Insert(p, i)
+		probes = append(probes, p.Nth(uint64(i)*7919))
+	}
+	return tb, probes
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tb, probes := benchTable(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tb.Lookup(probes[i%len(probes)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableInsert(b *testing.B) {
+	al := NewAllocator()
+	prefixes := make([]Prefix, 10000)
+	for i := range prefixes {
+		p, err := al.Alloc(16 + i%8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefixes[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewTable[int]()
+		for j, p := range prefixes {
+			tb.Insert(p, j)
+		}
+	}
+}
+
+func BenchmarkParseAddr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddr("203.0.113.77"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

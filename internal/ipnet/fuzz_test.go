@@ -1,0 +1,42 @@
+package ipnet
+
+import "testing"
+
+// FuzzParseAddr exercises the address parser: it must never panic, and
+// anything it accepts must round-trip through String.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{"0.0.0.0", "255.255.255.255", "1.2.3.4", "", "1.2.3", "999.1.1.1", "a.b.c.d", "01.2.3.4"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		round, err := ParseAddr(a.String())
+		if err != nil || round != a {
+			t.Fatalf("round trip failed for %q -> %v", s, a)
+		}
+	})
+}
+
+// FuzzParsePrefix exercises the prefix parser the same way.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32", "10.0.0.1/8", "x/8", "10.0.0.0/33", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		round, err := ParsePrefix(p.String())
+		if err != nil || round != p {
+			t.Fatalf("round trip failed for %q -> %v", s, p)
+		}
+		// Accepted prefixes are canonical.
+		if p.Addr&^(^Addr(0)<<(32-p.Bits)) != 0 && p.Bits < 32 {
+			t.Fatalf("non-canonical prefix accepted: %v", p)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package ipnet
+
+// Table is a binary radix trie mapping prefixes to values of type V, with
+// longest-prefix-match lookup — the data structure behind the synthetic
+// RouteViews-style IP→AS resolution.
+type Table[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] { return &Table[V]{root: &node[V]{}} }
+
+// Len returns the number of prefixes stored.
+func (t *Table[V]) Len() int { return t.size }
+
+func bitAt(a Addr, i int) int { return int(a>>(31-i)) & 1 }
+
+// Insert stores val under p, replacing any existing value for exactly p.
+func (t *Table[V]) Insert(p Prefix, val V) {
+	n := t.root
+	for i := 0; i < p.Bits; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val = val
+	n.set = true
+}
+
+// Lookup returns the value of the longest prefix containing a. ok is false
+// if no stored prefix contains a.
+func (t *Table[V]) Lookup(a Addr) (val V, ok bool) {
+	n := t.root
+	if n.set {
+		val, ok = n.val, true
+	}
+	for i := 0; i < 32; i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			return val, ok
+		}
+		if n.set {
+			val, ok = n.val, true
+		}
+	}
+	return val, ok
+}
+
+// LookupPrefix returns the value stored for exactly p.
+func (t *Table[V]) LookupPrefix(p Prefix) (val V, ok bool) {
+	n := t.root
+	for i := 0; i < p.Bits; i++ {
+		n = n.child[bitAt(p.Addr, i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.val, n.set
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic prefix
+// order. Returning false from fn stops the walk.
+func (t *Table[V]) Walk(fn func(Prefix, V) bool) {
+	var rec func(n *node[V], addr Addr, bits int) bool
+	rec = func(n *node[V], addr Addr, bits int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(Prefix{Addr: addr, Bits: bits}, n.val) {
+			return false
+		}
+		if !rec(n.child[0], addr, bits+1) {
+			return false
+		}
+		return rec(n.child[1], addr|Addr(1)<<(31-bits), bits+1)
+	}
+	rec(t.root, 0, 0)
+}

@@ -1,0 +1,166 @@
+package ipnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	tb := NewTable[string]()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), "big")
+	tb.Insert(mustPrefix(t, "10.1.0.0/16"), "mid")
+	tb.Insert(mustPrefix(t, "10.1.2.0/24"), "small")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "small", true},
+		{"10.1.9.9", "mid", true},
+		{"10.9.9.9", "big", true},
+		{"11.0.0.1", "", false},
+	}
+	for _, c := range cases {
+		a, _ := ParseAddr(c.addr)
+		got, ok := tb.Lookup(a)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q, %v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	tb := NewTable[int]()
+	tb.Insert(Prefix{Addr: 0, Bits: 0}, 42)
+	got, ok := tb.Lookup(MakeAddr(200, 1, 1, 1))
+	if !ok || got != 42 {
+		t.Errorf("default route lookup = %v, %v", got, ok)
+	}
+}
+
+func TestTableReplace(t *testing.T) {
+	tb := NewTable[int]()
+	p := mustPrefix(t, "10.0.0.0/8")
+	tb.Insert(p, 1)
+	tb.Insert(p, 2)
+	if tb.Len() != 1 {
+		t.Errorf("Len after replace = %d", tb.Len())
+	}
+	if v, ok := tb.LookupPrefix(p); !ok || v != 2 {
+		t.Errorf("LookupPrefix = %v, %v", v, ok)
+	}
+}
+
+func TestTableLookupPrefixExact(t *testing.T) {
+	tb := NewTable[int]()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), 1)
+	if _, ok := tb.LookupPrefix(mustPrefix(t, "10.0.0.0/9")); ok {
+		t.Error("LookupPrefix matched a non-inserted child")
+	}
+	if _, ok := tb.LookupPrefix(mustPrefix(t, "12.0.0.0/8")); ok {
+		t.Error("LookupPrefix matched absent prefix")
+	}
+}
+
+func TestTableHostRoute(t *testing.T) {
+	tb := NewTable[int]()
+	a, _ := ParseAddr("1.2.3.4")
+	tb.Insert(Prefix{Addr: a, Bits: 32}, 7)
+	if v, ok := tb.Lookup(a); !ok || v != 7 {
+		t.Errorf("host route lookup = %v, %v", v, ok)
+	}
+	if _, ok := tb.Lookup(a + 1); ok {
+		t.Error("host route leaked to neighbour")
+	}
+}
+
+func TestTableWalkOrder(t *testing.T) {
+	tb := NewTable[string]()
+	prefixes := []string{"10.0.0.0/8", "9.0.0.0/8", "10.1.0.0/16", "192.0.0.0/8"}
+	for _, s := range prefixes {
+		tb.Insert(mustPrefix(t, s), s)
+	}
+	var got []string
+	tb.Walk(func(p Prefix, v string) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "192.0.0.0/8"}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tb.Walk(func(Prefix, string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// TestTableMatchesLinearScan cross-checks the trie against a brute-force
+// longest-prefix match over random prefix sets.
+func TestTableMatchesLinearScan(t *testing.T) {
+	type entry struct {
+		p Prefix
+		v int
+	}
+	f := func(seeds []uint32, probes []uint32) bool {
+		if len(seeds) > 64 {
+			seeds = seeds[:64]
+		}
+		tb := NewTable[int]()
+		var entries []entry
+		for i, s := range seeds {
+			p := MakePrefix(Addr(s), int(s%25)+8)
+			tb.Insert(p, i)
+			// Later inserts replace earlier ones for the same prefix,
+			// mirror that in the reference list.
+			replaced := false
+			for j := range entries {
+				if entries[j].p == p {
+					entries[j].v = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				entries = append(entries, entry{p, i})
+			}
+		}
+		for _, pv := range probes {
+			a := Addr(pv)
+			bestBits, bestVal, found := -1, 0, false
+			for _, e := range entries {
+				if e.p.Contains(a) && e.p.Bits > bestBits {
+					bestBits, bestVal, found = e.p.Bits, e.v, true
+				}
+			}
+			got, ok := tb.Lookup(a)
+			if ok != found || (ok && got != bestVal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+func gaussianCloud(seed uint64, n int, sigma float64) []geo.XY {
+	src := rng.New(seed)
+	out := make([]geo.XY, n)
+	for i := range out {
+		out[i] = geo.XY{X: src.Norm(0, sigma), Y: src.Norm(0, sigma)}
+	}
+	return out
+}
+
+func TestSilvermanBandwidth(t *testing.T) {
+	samples := gaussianCloud(1, 2000, 30)
+	h, err := SilvermanBandwidth(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h = sigma * n^(-1/6) ≈ 30 * 2000^(-1/6) ≈ 8.4
+	want := 30 * math.Pow(2000, -1.0/6)
+	if math.Abs(h-want)/want > 0.1 {
+		t.Errorf("Silverman h = %v, want ~%v", h, want)
+	}
+}
+
+func TestSilvermanBandwidthErrors(t *testing.T) {
+	if _, err := SilvermanBandwidth([]geo.XY{{X: 1, Y: 1}}); err == nil {
+		t.Error("single sample should error")
+	}
+	same := []geo.XY{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}}
+	if _, err := SilvermanBandwidth(same); err == nil {
+		t.Error("zero-variance sample should error")
+	}
+}
+
+func TestSilvermanShrinksWithN(t *testing.T) {
+	small, err := SilvermanBandwidth(gaussianCloud(2, 100, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SilvermanBandwidth(gaussianCloud(3, 10000, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large >= small {
+		t.Errorf("bandwidth should shrink with n: n=100 → %v, n=10000 → %v", small, large)
+	}
+}
+
+func TestGeoErrorBandwidth(t *testing.T) {
+	errs := make([]float64, 100)
+	for i := range errs {
+		errs[i] = float64(i) // 0..99
+	}
+	h := GeoErrorBandwidth(errs, 40)
+	// 90th percentile of 0..99 is ~89.
+	if h < 85 || h > 95 {
+		t.Errorf("GeoErrorBandwidth = %v, want ~89", h)
+	}
+	if got := GeoErrorBandwidth([]float64{1, 2, 3}, 40); got != 40 {
+		t.Errorf("floor not applied: %v", got)
+	}
+	if got := GeoErrorBandwidth(nil, 40); got != 40 {
+		t.Errorf("empty errors: %v", got)
+	}
+}
+
+func TestLSCVBandwidthPicksReasonable(t *testing.T) {
+	// For a 2-cluster sample, LSCV must prefer a moderate bandwidth over
+	// an absurdly large one that washes out all structure.
+	src := rng.New(4)
+	var samples []geo.XY
+	for i := 0; i < 150; i++ {
+		samples = append(samples, geo.XY{X: src.Norm(0, 10), Y: src.Norm(0, 10)})
+		samples = append(samples, geo.XY{X: src.Norm(200, 10), Y: src.Norm(0, 10)})
+	}
+	h, err := LSCVBandwidth(samples, []float64{5, 10, 20, 40, 400}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h >= 400 {
+		t.Errorf("LSCV chose degenerate bandwidth %v", h)
+	}
+}
+
+func TestLSCVBandwidthErrors(t *testing.T) {
+	ok := []geo.XY{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+	if _, err := LSCVBandwidth(ok, nil, 0); err == nil {
+		t.Error("no candidates should error")
+	}
+	if _, err := LSCVBandwidth(ok[:2], []float64{10}, 0); err == nil {
+		t.Error("too few samples should error")
+	}
+	if _, err := LSCVBandwidth(ok, []float64{-1, 0}, 0); err == nil {
+		t.Error("all non-positive candidates should error")
+	}
+}
+
+func TestLSCVSubsamples(t *testing.T) {
+	samples := gaussianCloud(5, 5000, 20)
+	// maxN small: must still succeed and return one of the candidates.
+	h, err := LSCVBandwidth(samples, []float64{5, 10, 20}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 5 && h != 10 && h != 20 {
+		t.Errorf("LSCV returned non-candidate %v", h)
+	}
+}

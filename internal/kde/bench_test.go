@@ -1,0 +1,72 @@
+package kde
+
+import (
+	"fmt"
+	"testing"
+
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+func benchSamples(n int) []geo.XY {
+	src := rng.New(9000)
+	out := make([]geo.XY, n)
+	for i := range out {
+		// Three clusters, like a small country-level AS.
+		c := [3]geo.XY{{X: 0, Y: 0}, {X: 300, Y: 100}, {X: 150, Y: 400}}[src.Intn(3)]
+		out[i] = geo.XY{X: c.X + src.Norm(0, 20), Y: c.Y + src.Norm(0, 20)}
+	}
+	return out
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		samples := benchSamples(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Estimate(samples, Options{BandwidthKm: 40}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEstimateFineGrid(b *testing.B) {
+	samples := benchSamples(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(samples, Options{BandwidthKm: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDensityAt(b *testing.B) {
+	samples := benchSamples(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DensityAt(samples, 40, geo.XY{X: 10, Y: 10})
+	}
+}
+
+func BenchmarkSilverman(b *testing.B) {
+	samples := benchSamples(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SilvermanBandwidth(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkISJ(b *testing.B) {
+	samples := benchSamples(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ISJBandwidth(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

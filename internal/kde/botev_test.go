@@ -1,0 +1,119 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+func TestISJ1DGaussian(t *testing.T) {
+	// On a Gaussian sample, ISJ should land near the asymptotically
+	// optimal h* = (4/3)^(1/5) σ n^(-1/5).
+	src := rng.New(301)
+	n := 4000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Norm(0, 25)
+	}
+	h, err := ISJBandwidth1D(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOpt := math.Pow(4.0/3, 0.2) * 25 * math.Pow(float64(n), -0.2)
+	if h < hOpt/2.5 || h > hOpt*2.5 {
+		t.Errorf("ISJ h = %.3f, optimal ~%.3f", h, hOpt)
+	}
+}
+
+func TestISJ1DBimodalBeatsSilverman(t *testing.T) {
+	// The classic ISJ property: on a well-separated bimodal sample,
+	// Silverman (which assumes normality) oversmooths, ISJ does not.
+	src := rng.New(302)
+	var xs []float64
+	for i := 0; i < 1500; i++ {
+		xs = append(xs, src.Norm(0, 10), src.Norm(300, 10))
+	}
+	hISJ, err := ISJBandwidth1D(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := stddev(xs) // ~150 due to the separation
+	hSilver := 1.06 * sigma * math.Pow(float64(len(xs)), -0.2)
+	if hISJ >= hSilver/3 {
+		t.Errorf("ISJ h = %.2f should be far below Silverman %.2f on bimodal data", hISJ, hSilver)
+	}
+	// And it should be in the vicinity of the per-mode optimum (~σ_mode
+	// scaled), i.e. single digits, not hundreds.
+	if hISJ > 30 || hISJ < 0.5 {
+		t.Errorf("ISJ h = %.2f outside plausible range for 10-km modes", hISJ)
+	}
+}
+
+func TestISJ1DErrors(t *testing.T) {
+	if _, err := ISJBandwidth1D([]float64{1, 2, 3}); err == nil {
+		t.Error("too-small sample accepted")
+	}
+	same := make([]float64, 20)
+	for i := range same {
+		same[i] = 7
+	}
+	if _, err := ISJBandwidth1D(same); err == nil {
+		t.Error("zero-variance sample accepted")
+	}
+}
+
+func TestISJ2D(t *testing.T) {
+	src := rng.New(303)
+	samples := make([]geo.XY, 3000)
+	for i := range samples {
+		samples[i] = geo.XY{X: src.Norm(0, 30), Y: src.Norm(0, 30)}
+	}
+	h, err := ISJBandwidth(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isotropic Gaussian: per-axis ISJ ≈ 1D optimum; the geometric mean
+	// should stay in the same range.
+	hOpt := math.Pow(4.0/3, 0.2) * 30 * math.Pow(3000, -0.2)
+	if h < hOpt/2.5 || h > hOpt*2.5 {
+		t.Errorf("2D ISJ h = %.3f, optimal ~%.3f", h, hOpt)
+	}
+	if _, err := ISJBandwidth(samples[:4]); err == nil {
+		t.Error("too-small 2D sample accepted")
+	}
+}
+
+func TestISJHandlesTies(t *testing.T) {
+	// Zip-snapped data has heavy ties; ISJ must still terminate with a
+	// sane value.
+	src := rng.New(304)
+	centers := []float64{0, 40, 90, 200}
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		c := centers[src.Intn(len(centers))]
+		xs = append(xs, c+float64(src.Intn(5))) // 5 distinct offsets per center
+	}
+	h, err := ISJBandwidth1D(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0 || h > 100 || math.IsNaN(h) {
+		t.Errorf("ISJ on tied data = %v", h)
+	}
+}
+
+func TestDCT2Basics(t *testing.T) {
+	// DCT of a constant vector: only the k=0 coefficient is non-zero.
+	xs := []float64{1, 1, 1, 1}
+	out := dct2(xs)
+	if math.Abs(out[0]-8) > 1e-9 {
+		t.Errorf("DC coefficient = %v, want 8", out[0])
+	}
+	for k := 1; k < len(out); k++ {
+		if math.Abs(out[k]) > 1e-9 {
+			t.Errorf("coefficient %d = %v, want 0", k, out[k])
+		}
+	}
+}

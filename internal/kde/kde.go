@@ -1,0 +1,206 @@
+// Package kde implements the bivariate Gaussian kernel density estimation
+// at the heart of the paper (§3): given the projected locations of an
+// eyeball AS's users, it estimates a smooth user-density surface whose
+// peaks are candidate PoP locations and whose upper level set is the AS's
+// geo-footprint.
+//
+// The estimator bins samples onto a regular km-space grid and convolves
+// with a separable, truncated Gaussian — O(W·H·k) independent of the
+// sample count, with binning error bounded by half a cell (cell defaults
+// to bandwidth/4, far below the zip-code resolution of the input data).
+package kde
+
+import (
+	"fmt"
+	"math"
+
+	"eyeballas/internal/geo"
+	"eyeballas/internal/grid"
+)
+
+// Options configure an estimation run.
+type Options struct {
+	// BandwidthKm is the Gaussian kernel's standard deviation in km. The
+	// paper's default for city-level resolution is 40 km (§3.1).
+	BandwidthKm float64
+	// CellKm is the grid resolution; 0 means BandwidthKm/4.
+	CellKm float64
+	// TruncSigma truncates the kernel at this many standard deviations;
+	// 0 means 4 (mass error < 1e-4).
+	TruncSigma float64
+	// PadKm pads the grid beyond the sample bounding box; 0 means
+	// TruncSigma·BandwidthKm so no kernel mass falls off the grid.
+	PadKm float64
+	// MaxCells caps W·H to bound memory; 0 means 16M cells. Estimate
+	// returns an error if the domain would exceed the cap (callers choose
+	// a coarser cell or larger bandwidth).
+	MaxCells int
+}
+
+// DefaultOptions returns the paper's §3.1 configuration: 40 km bandwidth,
+// 10 km grid cells.
+func DefaultOptions() Options {
+	return Options{BandwidthKm: 40}
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.BandwidthKm <= 0 {
+		return o, fmt.Errorf("kde: bandwidth must be positive, got %v", o.BandwidthKm)
+	}
+	if o.CellKm <= 0 {
+		o.CellKm = o.BandwidthKm / 4
+	}
+	if o.TruncSigma <= 0 {
+		o.TruncSigma = 4
+	}
+	if o.PadKm <= 0 {
+		o.PadKm = o.TruncSigma * o.BandwidthKm
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = 16 << 20
+	}
+	return o, nil
+}
+
+// Estimate computes the density surface for the given samples. The
+// resulting grid integrates to ~1 (a probability density per km²);
+// relative comparisons such as the paper's α·Dmax peak threshold are
+// normalization-independent. It returns an error for an empty sample set,
+// an invalid bandwidth, or a domain exceeding Options.MaxCells.
+func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("kde: no samples")
+	}
+	minX, minY := samples[0].X, samples[0].Y
+	maxX, maxY := minX, minY
+	for _, s := range samples[1:] {
+		minX = math.Min(minX, s.X)
+		maxX = math.Max(maxX, s.X)
+		minY = math.Min(minY, s.Y)
+		maxY = math.Max(maxY, s.Y)
+	}
+	minX -= o.PadKm
+	minY -= o.PadKm
+	maxX += o.PadKm
+	maxY += o.PadKm
+	w := int(math.Ceil((maxX-minX)/o.CellKm)) + 1
+	h := int(math.Ceil((maxY-minY)/o.CellKm)) + 1
+	if w*h > o.MaxCells {
+		return nil, fmt.Errorf("kde: domain needs %d cells (cap %d); increase CellKm", w*h, o.MaxCells)
+	}
+	g := grid.New(minX, minY, o.CellKm, w, h)
+
+	// Bin samples.
+	for _, s := range samples {
+		i, j, ok := g.CellOf(s)
+		if !ok {
+			// Padding guarantees containment up to floating-point edge
+			// cases; clamp those.
+			i = clamp(i, 0, w-1)
+			j = clamp(j, 0, h-1)
+		}
+		g.Add(i, j, 1)
+	}
+
+	blurSeparable(g, o.BandwidthKm, o.TruncSigma)
+
+	// counts → density: divide by N·cell² so the surface integrates to 1.
+	g.Scale(1 / (float64(len(samples)) * o.CellKm * o.CellKm))
+	return g, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// blurSeparable convolves the grid in place with a truncated Gaussian,
+// normalized to preserve total mass.
+func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64) {
+	radius := int(math.Ceil(truncSigma * bandwidthKm / g.Cell))
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := -radius; i <= radius; i++ {
+		d := float64(i) * g.Cell
+		kernel[i+radius] = math.Exp(-d * d / (2 * bandwidthKm * bandwidthKm))
+		sum += kernel[i+radius]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+
+	tmp := make([]float64, len(g.Data))
+	// Horizontal pass.
+	for j := 0; j < g.H; j++ {
+		row := g.Data[j*g.W : (j+1)*g.W]
+		out := tmp[j*g.W : (j+1)*g.W]
+		convolveRow(out, row, kernel, radius)
+	}
+	// Vertical pass: convolve columns of tmp back into g.Data.
+	col := make([]float64, g.H)
+	outCol := make([]float64, g.H)
+	for i := 0; i < g.W; i++ {
+		for j := 0; j < g.H; j++ {
+			col[j] = tmp[j*g.W+i]
+		}
+		convolveRow(outCol, col, kernel, radius)
+		for j := 0; j < g.H; j++ {
+			g.Data[j*g.W+i] = outCol[j]
+		}
+	}
+}
+
+// convolveRow writes the 1-D convolution of src with kernel into dst.
+// Mass falling outside the row is dropped (grids are padded so sources
+// never sit that close to the edge).
+func convolveRow(dst, src []float64, kernel []float64, radius int) {
+	n := len(src)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range src {
+		if v == 0 {
+			continue
+		}
+		lo := i - radius
+		kOff := 0
+		if lo < 0 {
+			kOff = -lo
+			lo = 0
+		}
+		hi := i + radius
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for t := lo; t <= hi; t++ {
+			dst[t] += v * kernel[kOff]
+			kOff++
+		}
+	}
+}
+
+// DensityAt evaluates the exact (non-binned, non-truncated) KDE at a
+// point — the reference implementation the binned estimator is tested
+// against, and the tool for spot evaluations in reports.
+func DensityAt(samples []geo.XY, bandwidthKm float64, at geo.XY) float64 {
+	if len(samples) == 0 || bandwidthKm <= 0 {
+		return 0
+	}
+	h2 := bandwidthKm * bandwidthKm
+	sum := 0.0
+	for _, s := range samples {
+		dx := s.X - at.X
+		dy := s.Y - at.Y
+		sum += math.Exp(-(dx*dx + dy*dy) / (2 * h2))
+	}
+	return sum / (float64(len(samples)) * 2 * math.Pi * h2)
+}

@@ -1,0 +1,202 @@
+// Package overlay simulates a Gnutella-style two-tier unstructured
+// overlay — ultrapeers forming a random gossip graph with firewalled
+// leaves attached — and the snowball crawler the paper's Gnutella dataset
+// was collected with (§2 "Sampling End-users").
+//
+// The crawler BFS-walks the ultrapeer graph asking each responsive
+// ultrapeer for its neighbour and leaf lists. Leaves never answer
+// directly (NAT/firewall), so a leaf is observed only if one of its
+// ultrapeers responds — the structural source of the partial,
+// size-dependent coverage the statistical model in internal/p2p assumes.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/rng"
+)
+
+// PeerID indexes a peer inside a network.
+type PeerID int32
+
+// Network is a built overlay.
+type Network struct {
+	addrs      []ipnet.Addr // by PeerID
+	ultrapeers []PeerID
+	neighbours map[PeerID][]PeerID // ultrapeer gossip edges
+	leavesOf   map[PeerID][]PeerID // ultrapeer → attached leaves
+	parentsOf  map[PeerID][]PeerID // leaf → its ultrapeers
+	responsive map[PeerID]bool     // unresponsive ultrapeers time out
+}
+
+// Config shapes the overlay.
+type Config struct {
+	// UltrapeerFrac is the fraction of members promoted to ultrapeer.
+	UltrapeerFrac float64
+	// UltraDegree is the target gossip degree among ultrapeers.
+	UltraDegree int
+	// LeafParents is the number of ultrapeers each leaf attaches to.
+	LeafParents int
+	// Responsive is the probability an ultrapeer answers crawler queries.
+	Responsive float64
+}
+
+// DefaultConfig mirrors Gnutella 0.6-era deployments.
+func DefaultConfig() Config {
+	return Config{UltrapeerFrac: 0.12, UltraDegree: 30, LeafParents: 2, Responsive: 0.9}
+}
+
+// Build constructs an overlay over the member addresses.
+func Build(members []ipnet.Addr, cfg Config, src *rng.Source) (*Network, error) {
+	if len(members) < 4 {
+		return nil, fmt.Errorf("overlay: need at least 4 members, got %d", len(members))
+	}
+	if cfg.UltrapeerFrac <= 0 || cfg.UltrapeerFrac > 1 || cfg.UltraDegree < 1 || cfg.LeafParents < 1 {
+		return nil, fmt.Errorf("overlay: invalid config %+v", cfg)
+	}
+	n := len(members)
+	net := &Network{
+		addrs:      append([]ipnet.Addr(nil), members...),
+		neighbours: make(map[PeerID][]PeerID),
+		leavesOf:   make(map[PeerID][]PeerID),
+		parentsOf:  make(map[PeerID][]PeerID),
+		responsive: make(map[PeerID]bool),
+	}
+	nUltra := int(float64(n) * cfg.UltrapeerFrac)
+	if nUltra < 2 {
+		nUltra = 2
+	}
+	perm := src.Perm(n)
+	for i := 0; i < nUltra; i++ {
+		net.ultrapeers = append(net.ultrapeers, PeerID(perm[i]))
+	}
+	sort.Slice(net.ultrapeers, func(i, j int) bool { return net.ultrapeers[i] < net.ultrapeers[j] })
+	isUltra := make(map[PeerID]bool, nUltra)
+	for _, u := range net.ultrapeers {
+		isUltra[u] = true
+		net.responsive[u] = src.Bool(cfg.Responsive)
+	}
+
+	// Gossip graph: each ultrapeer draws UltraDegree/2 random partners;
+	// edges are symmetric, so the realized degree averages UltraDegree.
+	addEdge := func(a, b PeerID) {
+		if a == b {
+			return
+		}
+		for _, x := range net.neighbours[a] {
+			if x == b {
+				return
+			}
+		}
+		net.neighbours[a] = append(net.neighbours[a], b)
+		net.neighbours[b] = append(net.neighbours[b], a)
+	}
+	half := cfg.UltraDegree / 2
+	if half < 1 {
+		half = 1
+	}
+	for _, u := range net.ultrapeers {
+		for d := 0; d < half; d++ {
+			addEdge(u, net.ultrapeers[src.Intn(nUltra)])
+		}
+	}
+
+	// Leaves attach to LeafParents random ultrapeers.
+	for i := nUltra; i < n; i++ {
+		leaf := PeerID(perm[i])
+		for p := 0; p < cfg.LeafParents; p++ {
+			parent := net.ultrapeers[src.Intn(nUltra)]
+			dup := false
+			for _, x := range net.parentsOf[leaf] {
+				if x == parent {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			net.parentsOf[leaf] = append(net.parentsOf[leaf], parent)
+			net.leavesOf[parent] = append(net.leavesOf[parent], leaf)
+		}
+	}
+	return net, nil
+}
+
+// Size returns the total number of peers.
+func (n *Network) Size() int { return len(n.addrs) }
+
+// Ultrapeers returns the ultrapeer IDs, ascending (shared slice).
+func (n *Network) Ultrapeers() []PeerID { return n.ultrapeers }
+
+// Addr returns a peer's address.
+func (n *Network) Addr(p PeerID) ipnet.Addr { return n.addrs[p] }
+
+// CrawlResult summarizes a snowball crawl.
+type CrawlResult struct {
+	Discovered map[PeerID]ipnet.Addr
+	Queried    int // ultrapeers asked
+	Responses  int // ultrapeers that answered
+}
+
+// Coverage returns the fraction of the overlay discovered.
+func (r *CrawlResult) Coverage(n *Network) float64 {
+	if n.Size() == 0 {
+		return 0
+	}
+	return float64(len(r.Discovered)) / float64(n.Size())
+}
+
+// Crawl snowballs from `seeds` random ultrapeers: each responsive
+// ultrapeer reports its gossip neighbours and its leaves; neighbours are
+// crawled transitively. maxQueries caps the crawl (0 = unlimited).
+func Crawl(n *Network, seeds, maxQueries int, src *rng.Source) (*CrawlResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("overlay: seeds must be >= 1")
+	}
+	res := &CrawlResult{Discovered: make(map[PeerID]ipnet.Addr)}
+	var frontier []PeerID
+	inFrontier := map[PeerID]bool{}
+	for len(frontier) < seeds && len(frontier) < len(n.ultrapeers) {
+		u := n.ultrapeers[src.Intn(len(n.ultrapeers))]
+		if !inFrontier[u] {
+			inFrontier[u] = true
+			frontier = append(frontier, u)
+			res.Discovered[u] = n.addrs[u]
+		}
+	}
+	queried := map[PeerID]bool{}
+	for len(frontier) > 0 {
+		if maxQueries > 0 && res.Queried >= maxQueries {
+			break
+		}
+		u := frontier[0]
+		frontier = frontier[1:]
+		if queried[u] {
+			continue
+		}
+		queried[u] = true
+		res.Queried++
+		if !n.responsive[u] {
+			continue // timeout
+		}
+		res.Responses++
+		for _, nb := range n.neighbours[u] {
+			if _, known := res.Discovered[nb]; !known {
+				res.Discovered[nb] = n.addrs[nb]
+			}
+			if !inFrontier[nb] && !queried[nb] {
+				inFrontier[nb] = true
+				frontier = append(frontier, nb)
+			}
+		}
+		for _, leaf := range n.leavesOf[u] {
+			if _, known := res.Discovered[leaf]; !known {
+				res.Discovered[leaf] = n.addrs[leaf]
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package overlay
+
+import (
+	"testing"
+
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/rng"
+)
+
+func members(n int) []ipnet.Addr {
+	out := make([]ipnet.Addr, n)
+	for i := range out {
+		out[i] = ipnet.MakeAddr(20, byte(i>>16), byte(i>>8), byte(i))
+	}
+	return out
+}
+
+func build(t testing.TB, n int, cfg Config, seed uint64) *Network {
+	t.Helper()
+	net, err := Build(members(n), cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(members(2), DefaultConfig(), rng.New(1)); err == nil {
+		t.Error("tiny network accepted")
+	}
+	bad := DefaultConfig()
+	bad.UltrapeerFrac = 0
+	if _, err := Build(members(100), bad, rng.New(1)); err == nil {
+		t.Error("zero ultrapeer fraction accepted")
+	}
+	bad = DefaultConfig()
+	bad.LeafParents = 0
+	if _, err := Build(members(100), bad, rng.New(1)); err == nil {
+		t.Error("zero leaf parents accepted")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	net := build(t, 2000, DefaultConfig(), 2)
+	nUltra := len(net.Ultrapeers())
+	if nUltra < 200 || nUltra > 280 {
+		t.Errorf("ultrapeers = %d, want ~240", nUltra)
+	}
+	// Edges are symmetric and between ultrapeers only.
+	isUltra := map[PeerID]bool{}
+	for _, u := range net.Ultrapeers() {
+		isUltra[u] = true
+	}
+	for u, nbs := range net.neighbours {
+		if !isUltra[u] {
+			t.Fatalf("leaf %d has gossip edges", u)
+		}
+		for _, nb := range nbs {
+			if !isUltra[nb] {
+				t.Fatalf("gossip edge to leaf %d", nb)
+			}
+			found := false
+			for _, back := range net.neighbours[nb] {
+				if back == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric edge %d-%d", u, nb)
+			}
+		}
+	}
+	// Every leaf has at least one parent, and parent links are mirrored.
+	leaves := 0
+	for p := PeerID(0); int(p) < net.Size(); p++ {
+		if isUltra[p] {
+			continue
+		}
+		leaves++
+		parents := net.parentsOf[p]
+		if len(parents) == 0 {
+			t.Fatalf("leaf %d orphaned", p)
+		}
+		for _, parent := range parents {
+			found := false
+			for _, l := range net.leavesOf[parent] {
+				if l == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("leaf %d not listed by parent %d", p, parent)
+			}
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leaves")
+	}
+}
+
+func TestCrawlCoversMostOfOverlay(t *testing.T) {
+	net := build(t, 3000, DefaultConfig(), 3)
+	res, err := Crawl(net, 5, 0, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage(net)
+	// 90% responsive ultrapeers, 2 parents per leaf ⇒ high but
+	// structurally incomplete coverage.
+	if cov < 0.8 || cov >= 1.0 {
+		t.Errorf("coverage = %.3f, want high but < 1", cov)
+	}
+	if res.Responses >= res.Queried {
+		t.Errorf("every ultrapeer responded (%d/%d); timeouts should occur", res.Responses, res.Queried)
+	}
+	// Discovered addresses are real.
+	for id, addr := range res.Discovered {
+		if net.Addr(id) != addr {
+			t.Fatalf("phantom peer %d", id)
+		}
+	}
+}
+
+func TestCrawlUnresponsiveHideLeaves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Responsive = 0.5
+	cfg.LeafParents = 1 // single-homed leaves: one timeout hides them
+	netLow := build(t, 3000, cfg, 5)
+	resLow, err := Crawl(netLow, 5, 0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Responsive = 1.0
+	netHigh := build(t, 3000, cfg, 5)
+	resHigh, err := Crawl(netHigh, 5, 0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLow.Coverage(netLow) >= resHigh.Coverage(netHigh) {
+		t.Errorf("unresponsive overlay covered %.3f >= responsive %.3f",
+			resLow.Coverage(netLow), resHigh.Coverage(netHigh))
+	}
+}
+
+func TestCrawlBudget(t *testing.T) {
+	net := build(t, 3000, DefaultConfig(), 7)
+	full, err := Crawl(net, 5, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Crawl(net, 5, 20, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Queried > 20 {
+		t.Errorf("budget exceeded: %d", partial.Queried)
+	}
+	if partial.Coverage(net) >= full.Coverage(net) {
+		t.Error("budgeted crawl should cover less")
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	net := build(t, 1000, DefaultConfig(), 9)
+	r1, _ := Crawl(net, 4, 0, rng.New(10))
+	r2, _ := Crawl(net, 4, 0, rng.New(10))
+	if len(r1.Discovered) != len(r2.Discovered) || r1.Queried != r2.Queried {
+		t.Error("crawl not deterministic")
+	}
+}
+
+func TestCrawlSeedValidation(t *testing.T) {
+	net := build(t, 100, DefaultConfig(), 11)
+	if _, err := Crawl(net, 0, 0, rng.New(1)); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func BenchmarkBuildOverlay(b *testing.B) {
+	m := members(5000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(m, DefaultConfig(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrawlOverlay(b *testing.B) {
+	net := build(b, 5000, DefaultConfig(), 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Crawl(net, 5, 0, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package p2p
+
+import (
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/rng"
+)
+
+func BenchmarkCrawl(b *testing.B) {
+	w, err := astopo.Generate(astopo.SmallConfig(9200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(w, DefaultConfig(), rng.New(uint64(i)).Split("p2p")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A child stream must not depend on how much the parent was consumed.
+	p1 := New(7)
+	p2 := New(7)
+	p2.Float64()
+	p2.Float64()
+	c1 := p1.Split("users")
+	c2 := p2.Split("users")
+	for i := 0; i < 32; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("split stream depends on parent consumption")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	p := New(7)
+	if p.Split("a").Uint64() == p.Split("b").Uint64() {
+		t.Error("different labels produced identical first draw")
+	}
+	if p.SplitN("a", 0).Uint64() == p.SplitN("a", 1).Uint64() {
+		t.Error("different indices produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("IntRange out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+	if got := s.IntRange(4, 4); got != 4 {
+		t.Errorf("degenerate IntRange = %d", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(11)
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Errorf("stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(12)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-5) > 0.2 {
+		t.Errorf("mean = %v, want ~5", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(13)
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw(s)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Errorf("Zipf not skewed: c0=%d c10=%d c90=%d", counts[0], counts[10], counts[90])
+	}
+	// With exponent 1 and n=100 the top rank should hold roughly
+	// 1/H(100) ≈ 19% of the mass.
+	frac := float64(counts[0]) / 50000
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("top-rank mass = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	s := New(14)
+	z := NewZipf(10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw(s)]++
+	}
+	for i, c := range counts {
+		if c < 4000 || c > 6000 {
+			t.Errorf("bucket %d count %d not ~5000", i, c)
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(15)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		idx := s.WeightedIndex([]float64{1, 0, 3})
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if s.WeightedIndex(nil) != -1 {
+		t.Error("empty weights should return -1")
+	}
+	if s.WeightedIndex([]float64{0, 0}) != -1 {
+		t.Error("all-zero weights should return -1")
+	}
+}
+
+func TestTruncNorm(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 1000; i++ {
+		v := s.TruncNorm(0, 10, -5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("TruncNorm out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPareto(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below min: %v", v)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	s := New(18)
+	for _, mean := range []float64{0.5, 4, 100} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.1 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(1)
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Exp", func() { s.Exp(0) })
+	assertPanics("IntRange", func() { s.IntRange(5, 4) })
+	assertPanics("ZipfN", func() { NewZipf(0, 1) })
+	assertPanics("ZipfExp", func() { NewZipf(5, -1) })
+	assertPanics("Pareto", func() { s.Pareto(0, 1) })
+}

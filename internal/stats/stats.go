@@ -1,0 +1,320 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: empirical CDFs, percentiles, histograms and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds basic moments of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	Median float64
+}
+
+// Summarize computes a Summary. The zero Summary is returned for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Stddev = math.Sqrt(variance)
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g max=%.3g mean=%.3g stddev=%.3g median=%.3g",
+		s.N, s.Min, s.Max, s.Mean, s.Stddev, s.Median)
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty sample
+// and panics if p is outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF. The input slice is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x) in [0, 1]. It returns 0 for an empty sample.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative probability q in [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting — one point per
+// distinct sample value, in ascending order.
+func (c *CDF) Points() (xs, ps []float64) {
+	n := len(c.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && c.sorted[j] == c.sorted[i] {
+			j++
+		}
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(j)/float64(n))
+		i = j
+	}
+	return xs, ps
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// samples, in [-1, 1]. It returns 0 for fewer than 2 points and panics on
+// mismatched lengths. Ties receive average ranks.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Spearman length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	// Pearson correlation of the ranks (handles ties correctly).
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += rx[i]
+		sy += ry[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ranks assigns 1-based average ranks.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs. It returns 1
+// if either sample is empty.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Histogram counts samples into nbins equal-width bins over [lo, hi].
+// Samples outside the range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram. It panics if nbins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: nbins must be positive")
+	}
+	if hi <= lo {
+		panic("stats: hi must exceed lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	for _, x := range xs {
+		bin := int((x - lo) / (hi - lo) * float64(nbins))
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		h.Counts[bin]++
+	}
+	return h
+}
+
+// Total returns the number of samples counted.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// ASCIIPlot renders series of (x, y) points as a crude terminal plot, used
+// by the experiment CLIs to sketch the paper's figures. Each series is
+// drawn with its own rune. Width and height are in character cells.
+func ASCIIPlot(width, height int, series map[rune][][2]float64) string {
+	if width < 8 || height < 4 || len(series) == 0 {
+		return ""
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pts := range series {
+		for _, p := range pts {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			minY = math.Min(minY, p[1])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	if minY >= maxY {
+		maxY = minY + 1
+	}
+	cells := make([][]rune, height)
+	for i := range cells {
+		cells[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := make([]rune, 0, len(series))
+	for r := range series {
+		marks = append(marks, r)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+	for _, r := range marks {
+		for _, p := range series[r] {
+			col := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p[1]-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				cells[row][col] = r
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: %.3g..%.3g  x: %.3g..%.3g\n", minY, maxY, minX, maxX)
+	for _, row := range cells {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(2)", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary N = %d", z.N)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 100")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		c := NewCDF(clean)
+		prev := -1.0
+		probes := append([]float64{}, clean...)
+		sort.Float64s(probes)
+		for _, x := range probes {
+			p := c.At(x)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	if got := c.Quantile(0.5); got < 5 || got > 6 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if got := c.Quantile(-0.5); got != 1 {
+		t.Errorf("clamped Quantile(-0.5) = %v", got)
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs, ps := NewCDF([]float64{5, 1, 5, 2}).Points()
+	wantX := []float64{1, 2, 5}
+	wantP := []float64{0.25, 0.5, 1}
+	if len(xs) != 3 {
+		t.Fatalf("got %d points", len(xs))
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || math.Abs(ps[i]-wantP[i]) > 1e-9 {
+			t.Errorf("point %d = (%v,%v), want (%v,%v)", i, xs[i], ps[i], wantX[i], wantP[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 9.99, -5, 50}, 0, 10, 10)
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and clamped -5
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[9] != 2 { // 9.99 and clamped 50
+		t.Errorf("bin 9 = %d", h.Counts[9])
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nbins": func() { NewHistogram(nil, 0, 1, 0) },
+		"range": func() { NewHistogram(nil, 1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	out := ASCIIPlot(40, 10, map[rune][][2]float64{
+		'a': {{0, 0}, {50, 50}, {100, 100}},
+		'b': {{0, 100}, {100, 0}},
+	})
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !containsRune(out, 'a') || !containsRune(out, 'b') {
+		t.Error("plot missing series marks")
+	}
+	if ASCIIPlot(2, 2, nil) != "" {
+		t.Error("degenerate plot should be empty")
+	}
+}
+
+func containsRune(s string, r rune) bool {
+	for _, c := range s {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("monotone increasing r = %v, want 1", r)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if r := Spearman(xs, rev); math.Abs(r+1) > 1e-12 {
+		t.Errorf("monotone decreasing r = %v, want -1", r)
+	}
+}
+
+func TestSpearmanRankBased(t *testing.T) {
+	// Spearman sees monotone nonlinear relations as perfect.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("cubic relation r = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{3, 3, 7, 7}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("tied monotone r = %v, want 1", r)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if r := Spearman(xs, flat); r != 0 {
+		t.Errorf("constant series r = %v, want 0", r)
+	}
+}
+
+func TestSpearmanUncorrelated(t *testing.T) {
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	state := uint64(12345)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := range xs {
+		xs[i] = next()
+		ys[i] = next()
+	}
+	if r := Spearman(xs, ys); math.Abs(r) > 0.08 {
+		t.Errorf("independent series r = %v, want ~0", r)
+	}
+}
+
+func TestSpearmanEdge(t *testing.T) {
+	if Spearman(nil, nil) != 0 || Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Error("degenerate Spearman not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Spearman([]float64{1, 2}, []float64{1})
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Errorf("identical samples d = %v", d)
+	}
+	b := []float64{100, 200, 300}
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint samples d = %v, want 1", d)
+	}
+	if d := KSDistance(nil, a); d != 1 {
+		t.Errorf("empty sample d = %v", d)
+	}
+	// Half-shifted overlap gives an intermediate distance.
+	c := []float64{3, 4, 5, 6, 7}
+	d := KSDistance(a, c)
+	if d <= 0 || d >= 1 {
+		t.Errorf("shifted samples d = %v, want in (0,1)", d)
+	}
+}

@@ -1,0 +1,216 @@
+// Package swarm simulates BitTorrent swarms and the tracker-scrape + PEX
+// crawler the paper's BitTorrent dataset was collected with (§2,
+// "Sampling End-users").
+//
+// Peers join torrents with Zipf-distributed popularity; a crawler scrapes
+// each torrent's tracker (which returns a bounded random subset of the
+// swarm per announce) and then gossips with responsive discovered peers
+// via PEX to learn more of the swarm. Coverage is bursty per swarm —
+// big swarms need many announces, small swarms may be missed entirely —
+// which is the dispersion the statistical BitTorrent model in
+// internal/p2p assumes.
+package swarm
+
+import (
+	"fmt"
+	"sort"
+
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/rng"
+)
+
+// PeerID indexes a peer within a System.
+type PeerID int32
+
+// System is a set of swarms over a peer population.
+type System struct {
+	addrs   []ipnet.Addr
+	swarms  [][]PeerID // torrent → member peers
+	tracked []bool     // torrent known to the crawler's tracker list
+	// memberships[p] lists the torrents p participates in.
+	memberships map[PeerID][]int
+	// pexCapable peers answer PEX queries (not firewalled).
+	pexCapable map[PeerID]bool
+}
+
+// Config shapes the swarm system.
+type Config struct {
+	// Torrents is the number of tracked torrents.
+	Torrents int
+	// PopularityExp is the Zipf exponent of torrent popularity.
+	PopularityExp float64
+	// SwarmsPerPeer is the mean number of torrents a peer is in.
+	SwarmsPerPeer float64
+	// PEXFrac is the fraction of peers that answer PEX.
+	PEXFrac float64
+	// TrackedFrac is the fraction of torrents on trackers the crawler
+	// knows about; members exclusive to unknown torrents are invisible.
+	TrackedFrac float64
+}
+
+// DefaultConfig mirrors 2009-era public-tracker ecosystems.
+func DefaultConfig() Config {
+	return Config{Torrents: 200, PopularityExp: 1.0, SwarmsPerPeer: 1.6, PEXFrac: 0.6, TrackedFrac: 0.8}
+}
+
+// Build assigns the member peers to swarms.
+func Build(members []ipnet.Addr, cfg Config, src *rng.Source) (*System, error) {
+	if len(members) < 4 {
+		return nil, fmt.Errorf("swarm: need at least 4 members, got %d", len(members))
+	}
+	if cfg.Torrents < 1 || cfg.SwarmsPerPeer <= 0 || cfg.PEXFrac < 0 || cfg.PEXFrac > 1 ||
+		cfg.TrackedFrac <= 0 || cfg.TrackedFrac > 1 {
+		return nil, fmt.Errorf("swarm: invalid config %+v", cfg)
+	}
+	sys := &System{
+		addrs:       append([]ipnet.Addr(nil), members...),
+		swarms:      make([][]PeerID, cfg.Torrents),
+		tracked:     make([]bool, cfg.Torrents),
+		memberships: make(map[PeerID][]int),
+		pexCapable:  make(map[PeerID]bool),
+	}
+	for t := range sys.tracked {
+		sys.tracked[t] = src.Bool(cfg.TrackedFrac)
+	}
+	zipf := rng.NewZipf(cfg.Torrents, cfg.PopularityExp)
+	for p := PeerID(0); int(p) < len(members); p++ {
+		sys.pexCapable[p] = src.Bool(cfg.PEXFrac)
+		n := src.Poisson(cfg.SwarmsPerPeer)
+		if n < 1 {
+			n = 1
+		}
+		joined := map[int]bool{}
+		for j := 0; j < n; j++ {
+			t := zipf.Draw(src)
+			if joined[t] {
+				continue
+			}
+			joined[t] = true
+			sys.swarms[t] = append(sys.swarms[t], p)
+			sys.memberships[p] = append(sys.memberships[p], t)
+		}
+	}
+	return sys, nil
+}
+
+// Size returns the peer population size.
+func (s *System) Size() int { return len(s.addrs) }
+
+// Addr returns a peer's address.
+func (s *System) Addr(p PeerID) ipnet.Addr { return s.addrs[p] }
+
+// SwarmSizes returns the swarm sizes, descending.
+func (s *System) SwarmSizes() []int {
+	out := make([]int, len(s.swarms))
+	for i, sw := range s.swarms {
+		out[i] = len(sw)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// CrawlConfig parameterizes the scraper.
+type CrawlConfig struct {
+	// AnnouncesPerTorrent is how many tracker announces the crawler
+	// issues per torrent.
+	AnnouncesPerTorrent int
+	// PeersPerAnnounce is the tracker's response size cap (the BEP-3
+	// default neighbourhood is ~50; public trackers served up to 200).
+	PeersPerAnnounce int
+	// PEXRounds is how many gossip rounds follow the scrape.
+	PEXRounds int
+}
+
+// DefaultCrawlConfig mirrors a polite scraper.
+func DefaultCrawlConfig() CrawlConfig {
+	return CrawlConfig{AnnouncesPerTorrent: 4, PeersPerAnnounce: 50, PEXRounds: 2}
+}
+
+// CrawlResult summarizes a scrape campaign.
+type CrawlResult struct {
+	Discovered map[PeerID]ipnet.Addr
+	Announces  int
+	PEXQueries int
+}
+
+// Coverage returns the fraction of the population discovered.
+func (r *CrawlResult) Coverage(s *System) float64 {
+	if s.Size() == 0 {
+		return 0
+	}
+	return float64(len(r.Discovered)) / float64(s.Size())
+}
+
+// Crawl scrapes every torrent and gossips with PEX-capable discoveries.
+func Crawl(s *System, cfg CrawlConfig, src *rng.Source) (*CrawlResult, error) {
+	if cfg.AnnouncesPerTorrent < 1 || cfg.PeersPerAnnounce < 1 || cfg.PEXRounds < 0 {
+		return nil, fmt.Errorf("swarm: invalid crawl config %+v", cfg)
+	}
+	res := &CrawlResult{Discovered: make(map[PeerID]ipnet.Addr)}
+	perSwarmKnown := make([]map[PeerID]bool, len(s.swarms))
+	for t := range s.swarms {
+		perSwarmKnown[t] = map[PeerID]bool{}
+	}
+
+	discover := func(p PeerID, torrent int) {
+		if _, known := res.Discovered[p]; !known {
+			res.Discovered[p] = s.addrs[p]
+		}
+		perSwarmKnown[torrent][p] = true
+	}
+
+	// Tracker scrape: each announce returns a bounded random sample of
+	// the swarm. Unknown torrents are never scraped.
+	for t, members := range s.swarms {
+		if len(members) == 0 || !s.tracked[t] {
+			continue
+		}
+		for a := 0; a < cfg.AnnouncesPerTorrent; a++ {
+			res.Announces++
+			take := cfg.PeersPerAnnounce
+			if take > len(members) {
+				take = len(members)
+			}
+			seen := map[int]bool{}
+			for got := 0; got < take; {
+				idx := src.Intn(len(members))
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				discover(members[idx], t)
+				got++
+			}
+		}
+	}
+
+	// PEX gossip: each known PEX-capable peer shares the swarm-mates it
+	// knows (modelled as a fresh bounded sample of its swarm — live
+	// clients hold rotating neighbour sets).
+	for round := 0; round < cfg.PEXRounds; round++ {
+		for t, members := range s.swarms {
+			if len(members) == 0 || !s.tracked[t] {
+				continue
+			}
+			known := make([]PeerID, 0, len(perSwarmKnown[t]))
+			for p := range perSwarmKnown[t] {
+				known = append(known, p)
+			}
+			sort.Slice(known, func(i, j int) bool { return known[i] < known[j] })
+			for _, p := range known {
+				if !s.pexCapable[p] {
+					continue
+				}
+				res.PEXQueries++
+				share := 25
+				if share > len(members) {
+					share = len(members)
+				}
+				for g := 0; g < share; g++ {
+					discover(members[src.Intn(len(members))], t)
+				}
+			}
+		}
+	}
+	return res, nil
+}

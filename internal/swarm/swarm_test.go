@@ -1,0 +1,192 @@
+package swarm
+
+import (
+	"testing"
+
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/rng"
+)
+
+func members(n int) []ipnet.Addr {
+	out := make([]ipnet.Addr, n)
+	for i := range out {
+		out[i] = ipnet.MakeAddr(30, byte(i>>16), byte(i>>8), byte(i))
+	}
+	return out
+}
+
+func build(t testing.TB, n int, cfg Config, seed uint64) *System {
+	t.Helper()
+	s, err := Build(members(n), cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(members(2), DefaultConfig(), rng.New(1)); err == nil {
+		t.Error("tiny population accepted")
+	}
+	bad := DefaultConfig()
+	bad.Torrents = 0
+	if _, err := Build(members(100), bad, rng.New(1)); err == nil {
+		t.Error("zero torrents accepted")
+	}
+	bad = DefaultConfig()
+	bad.PEXFrac = 2
+	if _, err := Build(members(100), bad, rng.New(1)); err == nil {
+		t.Error("PEXFrac > 1 accepted")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	s := build(t, 3000, DefaultConfig(), 2)
+	// Every peer is in at least one swarm, and memberships mirror swarms.
+	inSwarm := map[PeerID]int{}
+	for t2, sw := range s.swarms {
+		for _, p := range sw {
+			inSwarm[p]++
+			found := false
+			for _, m := range s.memberships[p] {
+				if m == t2 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("peer %d in swarm %d but membership not recorded", p, t2)
+			}
+		}
+	}
+	for p := PeerID(0); int(p) < s.Size(); p++ {
+		if inSwarm[p] == 0 {
+			t.Fatalf("peer %d in no swarm", p)
+		}
+	}
+	// Zipf popularity: the biggest swarm dwarfs the median.
+	sizes := s.SwarmSizes()
+	if sizes[0] < 4*sizes[len(sizes)/2] {
+		t.Errorf("popularity not skewed: top %d vs median %d", sizes[0], sizes[len(sizes)/2])
+	}
+}
+
+func TestCrawlCoverage(t *testing.T) {
+	s := build(t, 3000, DefaultConfig(), 3)
+	res, err := Crawl(s, DefaultCrawlConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage(s)
+	if cov < 0.5 || cov >= 1.0 {
+		t.Errorf("coverage = %.3f, want substantial but < 1", cov)
+	}
+	for id, addr := range res.Discovered {
+		if s.Addr(id) != addr {
+			t.Fatalf("phantom peer %d", id)
+		}
+	}
+	if res.Announces == 0 || res.PEXQueries == 0 {
+		t.Error("crawl did no work")
+	}
+}
+
+func TestCrawlEffortIncreasesCoverage(t *testing.T) {
+	s := build(t, 3000, DefaultConfig(), 5)
+	lazy := CrawlConfig{AnnouncesPerTorrent: 1, PeersPerAnnounce: 10, PEXRounds: 0}
+	rLazy, err := Crawl(s, lazy, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := Crawl(s, DefaultCrawlConfig(), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLazy.Coverage(s) >= rFull.Coverage(s) {
+		t.Errorf("lazy crawl %.3f >= full crawl %.3f", rLazy.Coverage(s), rFull.Coverage(s))
+	}
+}
+
+func TestCrawlBigSwarmsUndersampled(t *testing.T) {
+	// With a bounded tracker response and no PEX, per-swarm coverage
+	// falls with swarm size — the burstiness the statistical model
+	// assumes.
+	s := build(t, 5000, DefaultConfig(), 7)
+	cfg := CrawlConfig{AnnouncesPerTorrent: 1, PeersPerAnnounce: 50, PEXRounds: 0}
+	res, err := Crawl(s, cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigCov, smallCov float64
+	var bigN, smallN int
+	for t2, sw := range s.swarms {
+		if len(sw) == 0 {
+			continue
+		}
+		known := 0
+		for _, p := range sw {
+			if _, ok := res.Discovered[p]; ok {
+				_ = t2
+				known++
+			}
+		}
+		cov := float64(known) / float64(len(sw))
+		if len(sw) > 200 {
+			bigCov += cov
+			bigN++
+		} else if len(sw) < 40 {
+			smallCov += cov
+			smallN++
+		}
+	}
+	if bigN == 0 || smallN == 0 {
+		t.Skip("swarm size distribution too uniform at this seed")
+	}
+	// NOTE: per-swarm coverage uses global discovery, so small swarms
+	// benefit from overlap; the single-announce cap must still leave big
+	// swarms visibly undersampled.
+	if bigCov/float64(bigN) >= 0.9 {
+		t.Errorf("big swarms fully covered (%.3f) despite one bounded announce", bigCov/float64(bigN))
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	s := build(t, 1000, DefaultConfig(), 9)
+	r1, _ := Crawl(s, DefaultCrawlConfig(), rng.New(10))
+	r2, _ := Crawl(s, DefaultCrawlConfig(), rng.New(10))
+	if len(r1.Discovered) != len(r2.Discovered) || r1.Announces != r2.Announces {
+		t.Error("crawl not deterministic")
+	}
+}
+
+func TestCrawlConfigValidation(t *testing.T) {
+	s := build(t, 100, DefaultConfig(), 11)
+	for _, cfg := range []CrawlConfig{
+		{AnnouncesPerTorrent: 0, PeersPerAnnounce: 10, PEXRounds: 1},
+		{AnnouncesPerTorrent: 1, PeersPerAnnounce: 0, PEXRounds: 1},
+		{AnnouncesPerTorrent: 1, PeersPerAnnounce: 10, PEXRounds: -1},
+	} {
+		if _, err := Crawl(s, cfg, rng.New(1)); err == nil {
+			t.Errorf("bad config %+v accepted", cfg)
+		}
+	}
+}
+
+func BenchmarkBuildSwarms(b *testing.B) {
+	m := members(5000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(m, DefaultConfig(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrawlSwarms(b *testing.B) {
+	s := build(b, 5000, DefaultConfig(), 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Crawl(s, DefaultCrawlConfig(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

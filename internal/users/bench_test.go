@@ -1,0 +1,35 @@
+package users
+
+import (
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/rng"
+)
+
+func BenchmarkPlace(b *testing.B) {
+	w, err := astopo.Generate(astopo.SmallConfig(9300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := NewPlacer(w)
+	a := w.Eyeballs()[0]
+	s := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Place(a, s)
+	}
+}
+
+func BenchmarkMaterialize(b *testing.B) {
+	w, err := astopo.Generate(astopo.SmallConfig(9300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := NewPlacer(w)
+	a := w.Eyeballs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Materialize(a, 1000, rng.New(uint64(i)))
+	}
+}

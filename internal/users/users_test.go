@@ -1,0 +1,136 @@
+package users
+
+import (
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/geo"
+	"eyeballas/internal/rng"
+)
+
+func worldAndPlacer(t *testing.T) (*astopo.World, *Placer) {
+	t.Helper()
+	w, err := astopo.Generate(astopo.SmallConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, NewPlacer(w)
+}
+
+func TestPlaceNearPoPs(t *testing.T) {
+	w, pl := worldAndPlacer(t)
+	for _, a := range w.Eyeballs()[:10] {
+		s := rng.New(1).SplitN("place", int(a.ASN))
+		for i := 0; i < 200; i++ {
+			loc := pl.Place(a, s)
+			if !loc.Valid() {
+				t.Fatalf("invalid location %v", loc)
+			}
+			// Within suburbanReach of some user-serving PoP.
+			ok := false
+			for _, p := range a.UserPoPs() {
+				if geo.DistanceKm(loc, p.City.Loc) <= p.City.RadiusKm()*suburbanReach+1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("AS %d user at %v far from all PoPs", a.ASN, loc)
+			}
+		}
+	}
+}
+
+func TestPlaceRespectsShares(t *testing.T) {
+	w, pl := worldAndPlacer(t)
+	// Find an eyeball with >= 2 user PoPs and a dominant one.
+	var target *astopo.AS
+	for _, a := range w.Eyeballs() {
+		if len(a.UserPoPs()) >= 2 {
+			target = a
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no multi-PoP eyeball in this small world")
+	}
+	pops := target.UserPoPs()
+	counts := make([]int, len(pops))
+	s := rng.New(2)
+	n := 8000
+	for i := 0; i < n; i++ {
+		loc := pl.Place(target, s)
+		best, bestD := -1, 1e18
+		for j, p := range pops {
+			if d := geo.DistanceKm(loc, p.City.Loc); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		counts[best]++
+	}
+	for j, p := range pops {
+		got := float64(counts[j]) / float64(n)
+		if p.Share > 0.25 && (got < p.Share*0.5 || got > p.Share*1.6) {
+			t.Errorf("PoP %s share %.3f, observed %.3f", p.City.Name, p.Share, got)
+		}
+	}
+}
+
+func TestIPForInsidePrefixes(t *testing.T) {
+	w, pl := worldAndPlacer(t)
+	s := rng.New(3)
+	for _, a := range w.Eyeballs()[:10] {
+		for i := 0; i < 100; i++ {
+			ip := pl.IPFor(a, s)
+			inside := false
+			for _, p := range a.Prefixes {
+				if p.Contains(ip) {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				t.Fatalf("AS %d IP %v outside prefixes %v", a.ASN, ip, a.Prefixes)
+			}
+		}
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	w, pl := worldAndPlacer(t)
+	a := w.Eyeballs()[0]
+	u1 := pl.Materialize(a, 50, rng.New(7).Split("x"))
+	u2 := pl.Materialize(a, 50, rng.New(7).Split("x"))
+	if len(u1) != 50 {
+		t.Fatalf("len = %d", len(u1))
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatalf("user %d differs: %+v vs %+v", i, u1[i], u2[i])
+		}
+		if u1[i].ASN != a.ASN {
+			t.Fatalf("user %d has ASN %d", i, u1[i].ASN)
+		}
+	}
+}
+
+func TestPlaceInfraOnlyFallback(t *testing.T) {
+	_, pl := worldAndPlacer(t)
+	w2, _ := astopo.Generate(astopo.SmallConfig(32))
+	// Tier-1s have no user-serving PoPs; Place must still return a valid
+	// location (the fallback path).
+	var tier1 *astopo.AS
+	for _, a := range w2.ASes() {
+		if a.Kind == astopo.KindTier1 {
+			tier1 = a
+			break
+		}
+	}
+	if tier1 == nil {
+		t.Fatal("no tier-1")
+	}
+	loc := pl.Place(tier1, rng.New(4))
+	if !loc.Valid() {
+		t.Errorf("fallback location invalid: %v", loc)
+	}
+}
