@@ -11,6 +11,8 @@ package eyeball
 // scale.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"eyeballas/internal/experiments"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/kde"
+	"eyeballas/internal/parallel"
 )
 
 var benchShared struct {
@@ -269,6 +272,36 @@ func BenchmarkFootprintPerAS(b *testing.B) {
 		if _, err := EstimateFootprint(env.World, rec.Samples, FootprintOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFootprintFanOut measures the per-AS fan-out that dominates a
+// full evaluation run: every eligible AS's §3–§4 footprint, dispatched
+// over the shared worker pool at 1, 2, and GOMAXPROCS workers. Inner KDE
+// parallelism is pinned to 1 so the benchmark isolates the per-AS axis.
+func BenchmarkFootprintFanOut(b *testing.B) {
+	env := benchEnv(b)
+	records := env.Dataset.Records()
+	if len(records) > 24 {
+		records = records[:24]
+	}
+	workerCounts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			b.ReportMetric(float64(len(records)), "ases")
+			for i := 0; i < b.N; i++ {
+				err := parallel.ForEach(w, records, func(_ int, rec *ASRecord) error {
+					_, err := EstimateFootprint(env.World, rec.Samples, FootprintOptions{Workers: 1})
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -41,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	bwList := fs.String("bw", "20,40,60", "comma-separated kernel bandwidths in km")
 	multiscale := fs.Bool("multiscale", false, "also run the multi-scale PoP refinement")
 	surface := fs.String("surface", "", "write the density surface(s) as gnuplot-ready lon/lat/density rows to this file (one block per bandwidth)")
+	workers := fs.Int("workers", 0, "worker goroutines for the KDE convolution and fan-outs (0 = all CPUs, 1 = serial; output is identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,7 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "AS %d (%s): %d usable peers, classified %s-level (%s)\n",
 			rec.ASN, a.Name, len(rec.Samples), rec.Class.Level, rec.Class.Place)
 		for _, bw := range bandwidths {
-			fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw})
+			fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: *workers})
 			if err != nil {
 				return err
 			}
@@ -87,12 +88,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *multiscale {
-		if err := renderMultiScale(stdout, env, subject); err != nil {
+		if err := renderMultiScale(stdout, env, subject, *workers); err != nil {
 			return err
 		}
 	}
 	if *surface != "" {
-		if err := writeSurface(*surface, env, subject, bandwidths); err != nil {
+		if err := writeSurface(*surface, env, subject, bandwidths, *workers); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote density surface(s) to %s\n", *surface)
@@ -104,7 +105,7 @@ func run(args []string, stdout io.Writer) error {
 // "lon lat density" rows, with a blank line between grid rows and a
 // double blank line between bandwidth blocks — the format gnuplot's
 // `splot ... with pm3d` consumes, recreating the paper's 3-D Figure 1.
-func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64) error {
+func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64, workers int) error {
 	rec := env.Dataset.AS(asn)
 	if rec == nil {
 		return fmt.Errorf("AS %d is not in the target dataset", asn)
@@ -116,7 +117,7 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	defer f.Close()
 	w := bufio.NewWriter(f)
 	for _, bw := range bandwidths {
-		fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw})
+		fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -134,9 +135,11 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	return w.Flush()
 }
 
-func renderMultiScale(stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN) error {
+func renderMultiScale(stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN, workers int) error {
 	rec := env.Dataset.AS(asn)
-	ms, err := eyeball.MultiScaleFootprint(env.World, rec.Samples, eyeball.MultiScaleOptions{})
+	ms, err := eyeball.MultiScaleFootprint(env.World, rec.Samples, eyeball.MultiScaleOptions{
+		Base: eyeball.FootprintOptions{Workers: workers},
+	})
 	if err != nil {
 		return err
 	}

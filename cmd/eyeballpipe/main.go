@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
 	small := fs.Bool("small", false, "use the test-scale world")
 	minPeers := fs.Int("minpeers", 0, "override the per-AS peer floor (0 = scale default)")
+	workers := fs.Int("workers", 0, "worker goroutines for the pipeline's parallel stages (0 = all CPUs, 1 = serial; output is identical either way)")
 	dump := fs.String("dump", "", "write the per-AS target dataset as CSV to this file")
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save instead of generating")
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	if *minPeers > 0 {
 		cfg.MinPeers = *minPeers
 	}
+	cfg.Workers = *workers
 	ds, err := eyeball.BuildTargetDatasetWithConfig(w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	if err != nil {
 		return err

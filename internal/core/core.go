@@ -45,6 +45,11 @@ type Options struct {
 	CityRadiusKm float64
 	// CellKm overrides the KDE grid resolution; default BandwidthKm/4.
 	CellKm float64
+	// Workers bounds the goroutines used by the KDE convolution (and, in
+	// MultiScaleFootprint, the per-bandwidth fan-out); 0 means
+	// GOMAXPROCS, 1 forces serial execution. Footprints are
+	// byte-identical for every setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +121,7 @@ func EstimateFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts Options)
 	g, err := kde.Estimate(xys, kde.Options{
 		BandwidthKm: o.BandwidthKm,
 		CellKm:      o.CellKm,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
+	"eyeballas/internal/parallel"
 )
 
 // Multi-scale PoP refinement.
@@ -82,15 +83,27 @@ func MultiScaleFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts MultiS
 		return nil, fmt.Errorf("core: no samples")
 	}
 
-	fps := make(map[float64]*Footprint, len(bws))
-	for _, bw := range bws {
+	// The per-bandwidth footprints are independent; fan them out over
+	// the shared pool into index-addressed slots. Each inner Estimate
+	// still honors o.Base.Workers for its own convolution, so the same
+	// knob bounds both levels of the fan-out.
+	fpList := make([]*Footprint, len(bws))
+	err := parallel.ForEach(o.Base.Workers, bws, func(i int, bw float64) error {
 		base := o.Base
 		base.BandwidthKm = bw
 		fp, err := EstimateFootprint(gaz, samples, base)
 		if err != nil {
-			return nil, fmt.Errorf("core: multiscale bw %.0f: %w", bw, err)
+			return fmt.Errorf("core: multiscale bw %.0f: %w", bw, err)
 		}
-		fps[bw] = fp
+		fpList[i] = fp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fps := make(map[float64]*Footprint, len(bws))
+	for i, bw := range bws {
+		fps[bw] = fpList[i]
 	}
 	coarsest := bws[len(bws)-1]
 

@@ -8,6 +8,7 @@ import (
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
 	"eyeballas/internal/geo"
+	"eyeballas/internal/parallel"
 	"eyeballas/internal/rng"
 )
 
@@ -56,7 +57,7 @@ func RunBias(env *Env) (*Bias, error) {
 		trials    int
 	}
 	rows := make([]row, len(asns))
-	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		src := rng.New(env.Seed).SplitN("bias", int(asn))
 		base, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})

@@ -7,6 +7,7 @@ import (
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
 	"eyeballas/internal/p2p"
+	"eyeballas/internal/parallel"
 	"eyeballas/internal/pipeline"
 )
 
@@ -89,7 +90,7 @@ func RunCrawlQuality(env *Env, scales []float64) (*CrawlQuality, error) {
 				return 0, nil
 			}
 			totals := make([]int, len(asns))
-			err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+			err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
 				rec := lookup.AS(asn)
 				fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 				if err != nil {

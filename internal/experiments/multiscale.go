@@ -6,6 +6,7 @@ import (
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
+	"eyeballas/internal/parallel"
 )
 
 // MultiScale evaluates the §5 future-work refinement implemented in
@@ -40,7 +41,7 @@ func RunMultiScale(env *Env) (*MultiScale, error) {
 		n40, n10, nMS                               int
 	}
 	rows := make([]row, len(asns))
-	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		ref := env.Reference.Locations(asn)
 

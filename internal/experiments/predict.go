@@ -7,6 +7,7 @@ import (
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
 	"eyeballas/internal/geo"
+	"eyeballas/internal/parallel"
 )
 
 // Predict quantifies the question the paper poses and leaves open (§1:
@@ -67,7 +68,7 @@ func RunPredict(env *Env) (*Predict, error) {
 		ok               bool
 	}
 	rows := make([]row, len(asns))
-	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 		if err != nil {

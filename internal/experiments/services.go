@@ -6,6 +6,7 @@ import (
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
+	"eyeballas/internal/parallel"
 )
 
 // Services realizes the paper's §3/§7 claim that the geo-footprint
@@ -62,7 +63,7 @@ func RunServices(env *Env) (*Services, error) {
 		isContent, predContent, ok bool
 	}
 	rows := make([]row, len(asns))
-	err := forEachAS(asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
 		a := env.World.AS(asn)
 		if a == nil || (a.Kind != astopo.KindEyeball && a.Kind != astopo.KindContent) {
 			return nil

@@ -7,6 +7,7 @@ import (
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/core"
 	"eyeballas/internal/p2p"
+	"eyeballas/internal/parallel"
 	"eyeballas/internal/pipeline"
 )
 
@@ -80,7 +81,7 @@ func RunStability(env *Env, months int) (*Stability, error) {
 	popSets := make([]map[astopo.ASN]map[string]bool, months)
 	for m, ds := range datasets {
 		sets := make([]map[string]bool, len(common))
-		err := forEachAS(common, func(i int, asn astopo.ASN) error {
+		err := parallel.ForEach(0, common, func(i int, asn astopo.ASN) error {
 			rec := ds.AS(asn)
 			fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 			if err != nil {

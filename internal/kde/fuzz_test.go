@@ -1,0 +1,139 @@
+package kde
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// naiveConvolve is the O(n·k) reference: for every output cell, sum the
+// contributions of every input cell within the kernel radius, with edge
+// clamping identical to convolveRow's "mass outside the row is dropped"
+// rule. dst[t] = Σ_{i=max(0,t-r)}^{min(n-1,t+r)} src[i]·kernel[t-i+r].
+func naiveConvolve(src, kernel []float64, radius int) []float64 {
+	n := len(src)
+	dst := make([]float64, n)
+	for t := 0; t < n; t++ {
+		lo := t - radius
+		if lo < 0 {
+			lo = 0
+		}
+		hi := t + radius
+		if hi > n-1 {
+			hi = n - 1
+		}
+		// Accumulate in ascending source order — the same order
+		// convolveRow adds contributions to dst[t] — so the float sums
+		// agree far more tightly than a worst-case reordering bound.
+		s := 0.0
+		for i := lo; i <= hi; i++ {
+			s += src[i] * kernel[t-i+radius]
+		}
+		dst[t] = s
+	}
+	return dst
+}
+
+// gaussianKernel mirrors blurSeparable's kernel construction.
+func gaussianKernel(radius int, sigmaCells float64) []float64 {
+	k := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := -radius; i <= radius; i++ {
+		k[i+radius] = math.Exp(-float64(i) * float64(i) / (2 * sigmaCells * sigmaCells))
+		sum += k[i+radius]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// FuzzConvolveRow hardens the inner loop of the KDE engine against the
+// naive reference: for arbitrary finite inputs and any radius (including
+// radius >= len(src), the fully-clamped regime), the optimized
+// scatter-based convolution must match the gather-based reference within
+// float tolerance, produce no NaN/Inf, and never gain mass (the kernel is
+// normalized and edge mass is dropped, so Σdst <= Σ|src|).
+func FuzzConvolveRow(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255}, uint8(40))
+	f.Add([]byte{128}, uint8(0))
+	f.Add([]byte{}, uint8(5))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, radiusByte uint8) {
+		// Derive a bounded, finite, non-negative sample row from the raw
+		// bytes: one cell per 2 bytes, values in [0, 65535] — the shape
+		// binned counts actually take.
+		n := len(data) / 2
+		if n == 0 {
+			return
+		}
+		if n > 512 {
+			n = 512
+		}
+		src := make([]float64, n)
+		for i := 0; i < n; i++ {
+			src[i] = float64(binary.LittleEndian.Uint16(data[2*i : 2*i+2]))
+		}
+		// radius spans [0, 255] — well past len(src) for short rows,
+		// exercising full clamping.
+		radius := int(radiusByte)
+		if radius == 0 {
+			radius = 1
+		}
+		kernel := gaussianKernel(radius, float64(radius)/4+1)
+
+		dst := make([]float64, n)
+		convolveRow(dst, src, kernel, radius)
+		ref := naiveConvolve(src, kernel, radius)
+
+		srcSum := 0.0
+		for _, v := range src {
+			srcSum += v
+		}
+		tol := 1e-9*srcSum + 1e-12
+		dstSum := 0.0
+		for i := range dst {
+			if math.IsNaN(dst[i]) || math.IsInf(dst[i], 0) {
+				t.Fatalf("dst[%d] = %v for finite input", i, dst[i])
+			}
+			if diff := math.Abs(dst[i] - ref[i]); diff > tol {
+				t.Fatalf("dst[%d] = %.17g, reference %.17g (diff %g > tol %g, n=%d radius=%d)",
+					i, dst[i], ref[i], diff, tol, n, radius)
+			}
+			dstSum += dst[i]
+		}
+		// Mass never grows: edge clamping only drops kernel mass.
+		if dstSum > srcSum*(1+1e-9)+tol {
+			t.Fatalf("mass grew: Σdst=%.17g > Σsrc=%.17g (n=%d radius=%d)", dstSum, srcSum, n, radius)
+		}
+	})
+}
+
+// TestConvolveRowMatchesNaiveTable pins a few deterministic cases so the
+// reference comparison also runs in plain `go test` (fuzz corpora only
+// replay under -fuzz or from testdata).
+func TestConvolveRowMatchesNaiveTable(t *testing.T) {
+	cases := []struct {
+		src    []float64
+		radius int
+	}{
+		{[]float64{1}, 1},
+		{[]float64{1, 0, 0, 0, 2}, 2},
+		{[]float64{5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5}, 3},
+		{[]float64{1, 1, 1}, 10},      // radius >= len(src)
+		{make([]float64, 64), 4},      // all zeros (fast-path skip)
+		{[]float64{0, 0, 7, 0, 0}, 1}, // single impulse
+	}
+	for ci, tc := range cases {
+		kernel := gaussianKernel(tc.radius, float64(tc.radius)/4+1)
+		dst := make([]float64, len(tc.src))
+		convolveRow(dst, tc.src, kernel, tc.radius)
+		ref := naiveConvolve(tc.src, kernel, tc.radius)
+		for i := range dst {
+			if math.Abs(dst[i]-ref[i]) > 1e-12 {
+				t.Errorf("case %d: dst[%d] = %g, want %g", ci, i, dst[i], ref[i])
+			}
+		}
+	}
+}

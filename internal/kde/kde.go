@@ -16,6 +16,7 @@ import (
 
 	"eyeballas/internal/geo"
 	"eyeballas/internal/grid"
+	"eyeballas/internal/parallel"
 )
 
 // Options configure an estimation run.
@@ -35,6 +36,12 @@ type Options struct {
 	// returns an error if the domain would exceed the cap (callers choose
 	// a coarser cell or larger bandwidth).
 	MaxCells int
+	// Workers bounds the goroutines used for the separable convolution;
+	// 0 means GOMAXPROCS, 1 forces a serial pass. The surface is
+	// byte-identical for every setting: the grid is decomposed into
+	// fixed row/column blocks whose per-cell arithmetic never depends on
+	// the worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper's §3.1 configuration: 40 km bandwidth,
@@ -106,7 +113,7 @@ func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
 		g.Add(i, j, 1)
 	}
 
-	blurSeparable(g, o.BandwidthKm, o.TruncSigma)
+	blurSeparable(g, o.BandwidthKm, o.TruncSigma, o.Workers)
 
 	// counts → density: divide by N·cell² so the surface integrates to 1.
 	g.Scale(1 / (float64(len(samples)) * o.CellKm * o.CellKm))
@@ -125,7 +132,13 @@ func clamp(v, lo, hi int) int {
 
 // blurSeparable convolves the grid in place with a truncated Gaussian,
 // normalized to preserve total mass.
-func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64) {
+//
+// Both passes fan out over the shared worker pool. Rows (and columns) are
+// convolved independently into disjoint slices, and the block
+// decomposition is a fixed function of the grid dimensions, so the result
+// is byte-identical for every worker count — including workers == 1,
+// which runs inline with zero synchronization.
+func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int) {
 	radius := int(math.Ceil(truncSigma * bandwidthKm / g.Cell))
 	kernel := make([]float64, 2*radius+1)
 	sum := 0.0
@@ -139,24 +152,33 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64) {
 	}
 
 	tmp := make([]float64, len(g.Data))
-	// Horizontal pass.
-	for j := 0; j < g.H; j++ {
-		row := g.Data[j*g.W : (j+1)*g.W]
-		out := tmp[j*g.W : (j+1)*g.W]
-		convolveRow(out, row, kernel, radius)
-	}
-	// Vertical pass: convolve columns of tmp back into g.Data.
-	col := make([]float64, g.H)
-	outCol := make([]float64, g.H)
-	for i := 0; i < g.W; i++ {
-		for j := 0; j < g.H; j++ {
-			col[j] = tmp[j*g.W+i]
+	// Horizontal pass: each row of g.Data convolves into the same row of
+	// tmp; rows in a block are processed in order, blocks never overlap.
+	_ = parallel.Blocks(workers, g.H, 0, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			row := g.Data[j*g.W : (j+1)*g.W]
+			out := tmp[j*g.W : (j+1)*g.W]
+			convolveRow(out, row, kernel, radius)
 		}
-		convolveRow(outCol, col, kernel, radius)
-		for j := 0; j < g.H; j++ {
-			g.Data[j*g.W+i] = outCol[j]
+		return nil
+	})
+	// Vertical pass: convolve columns of tmp back into g.Data. Each
+	// block owns a contiguous span of columns and its own scratch
+	// buffers; writes target disjoint strided cells.
+	_ = parallel.Blocks(workers, g.W, 0, func(lo, hi int) error {
+		col := make([]float64, g.H)
+		outCol := make([]float64, g.H)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < g.H; j++ {
+				col[j] = tmp[j*g.W+i]
+			}
+			convolveRow(outCol, col, kernel, radius)
+			for j := 0; j < g.H; j++ {
+				g.Data[j*g.W+i] = outCol[j]
+			}
 		}
-	}
+		return nil
+	})
 }
 
 // convolveRow writes the 1-D convolution of src with kernel into dst.

@@ -1,0 +1,194 @@
+// Package parallel provides the shared bounded worker pool used by every
+// hot path in the reproduction: the KDE separable convolution, the
+// measurement pipeline's per-peer and per-AS stages, and the experiments'
+// per-AS fan-outs.
+//
+// The pool is deliberately deterministic-friendly:
+//
+//   - Work is partitioned by *index* (For/ForEach) or into *fixed-size
+//     blocks* (Blocks) whose boundaries depend only on the item count,
+//     never on the worker count. Callers that write results into
+//     index-addressed slots therefore produce byte-identical output for
+//     any Workers setting.
+//   - Errors carry their index: after all work finishes, the error at the
+//     lowest index wins, so the returned error is the same regardless of
+//     goroutine scheduling.
+//   - Panics are recovered in the workers and re-raised in the calling
+//     goroutine (lowest index wins, mirroring the error rule), so a
+//     panicking callback behaves like it does in a serial loop instead of
+//     crashing the process from an anonymous goroutine.
+//
+// A workers argument <= 0 selects runtime.GOMAXPROCS(0); 1 runs inline on
+// the calling goroutine with no synchronization at all.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Resolve normalizes a workers knob against n units of work: non-positive
+// values become DefaultWorkers, and the result never exceeds n (there is
+// no point parking goroutines with nothing to do).
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// DefaultBlock picks a block size for Blocks when the caller passes
+// block <= 0. It is a fixed function of n only — independent of the
+// worker count — so the decomposition (and therefore any
+// decomposition-sensitive arithmetic) is identical for every Workers
+// setting: at most 256 blocks, at least 1 index each.
+func DefaultBlock(n int) int {
+	b := (n + 255) / 256
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines.
+// Indexes are dispatched one at a time (good load balancing for per-item
+// work of uneven cost, e.g. per-AS KDE surfaces). All indexes are visited
+// even after a failure; the error with the lowest index is returned.
+func For(workers, n int, fn func(i int) error) error {
+	return blocks(workers, n, 1, func(lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return i, err
+			}
+		}
+		return 0, nil
+	})
+}
+
+// ForEach runs fn(i, items[i]) for every item on up to workers
+// goroutines, with For's dispatch and error semantics.
+func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
+	return For(workers, len(items), func(i int) error { return fn(i, items[i]) })
+}
+
+// Blocks partitions [0, n) into consecutive blocks of the given size (the
+// last block may be short; block <= 0 means DefaultBlock(n)) and runs
+// fn(lo, hi) for each block on up to workers goroutines. Block boundaries
+// depend only on n and block — never on workers — so per-block arithmetic
+// decomposes identically for every worker count. An error is attributed
+// to its block's lo index; the lowest one wins.
+func Blocks(workers, n, block int, fn func(lo, hi int) error) error {
+	if block <= 0 {
+		block = DefaultBlock(n)
+	}
+	return blocks(workers, n, block, func(lo, hi int) (int, error) {
+		return lo, fn(lo, hi)
+	})
+}
+
+// indexed pairs a work-item index with its outcome, for lowest-index-wins
+// selection.
+type indexed struct {
+	idx int
+	set bool
+}
+
+// blocks is the single pool implementation behind For and Blocks. fn
+// processes [lo, hi) and reports the index of its failure (ignored when
+// the error is nil).
+func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
+	if n <= 0 {
+		return nil
+	}
+	nblocks := (n + block - 1) / block
+	workers = Resolve(workers, nblocks)
+	if workers == 1 {
+		// Inline fast path: no goroutines, natural panic propagation.
+		// Stops at the first error, which is necessarily the
+		// lowest-index one.
+		for b := 0; b < nblocks; b++ {
+			lo := b * block
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			if _, err := fn(lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+
+		mu       sync.Mutex
+		firstErr error
+		errAt    = indexed{idx: math.MaxInt}
+		panicVal any
+		panicAt  = indexed{idx: math.MaxInt}
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1))
+				if b >= nblocks {
+					return
+				}
+				lo := b * block
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				idx, err, pv, panicked := runBlock(fn, lo, hi)
+				if err == nil && !panicked {
+					continue
+				}
+				mu.Lock()
+				if err != nil && (!errAt.set || idx < errAt.idx) {
+					firstErr, errAt = err, indexed{idx: idx, set: true}
+				}
+				if panicked && (!panicAt.set || lo < panicAt.idx) {
+					panicVal, panicAt = pv, indexed{idx: lo, set: true}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicAt.set {
+		// Re-raise in the caller, like a serial loop would. The original
+		// goroutine's stack is lost, but the value (and therefore
+		// recover-based handling) is preserved.
+		panic(panicVal)
+	}
+	return firstErr
+}
+
+// runBlock invokes fn over one block, converting a panic into a value so
+// the pool can re-raise the lowest-index one deterministically.
+func runBlock(fn func(lo, hi int) (int, error), lo, hi int) (idx int, err error, panicVal any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicVal, panicked = r, true
+		}
+	}()
+	idx, err = fn(lo, hi)
+	return idx, err, nil, false
+}

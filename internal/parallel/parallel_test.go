@@ -1,0 +1,309 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsAllOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			const n = 500
+			visited := make([]int32, n)
+			err := For(workers, n, func(i int) error {
+				atomic.AddInt32(&visited[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("index %d visited %d times", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachPassesItems(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	got := make([]string, len(items))
+	if err := ForEach(4, items, func(i int, s string) error {
+		got[i] = s
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("index %d: got %q want %q", i, got[i], items[i])
+		}
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	called := int32(0)
+	if err := For(8, 0, func(int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(8, []int(nil), func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Blocks(8, 0, 16, func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called != 0 {
+		t.Fatalf("callback invoked %d times for empty input", called)
+	}
+}
+
+func TestSingleItemSingleWorker(t *testing.T) {
+	n := int32(0)
+	err := For(1, 1, func(i int) error {
+		if i != 0 {
+			t.Errorf("got index %d", i)
+		}
+		atomic.AddInt32(&n, 1)
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+// TestFirstErrorLowestIndex checks index-ordered error selection: among
+// concurrent failures, the lowest index must win regardless of which
+// goroutine records its error first. Run many rounds to give the race
+// detector and the scheduler room to interleave.
+func TestFirstErrorLowestIndex(t *testing.T) {
+	const n = 300
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for round := 0; round < 50; round++ {
+		err := For(8, n, func(i int) error {
+			switch i {
+			case 13:
+				return errLow
+			case 14, 100, n - 1:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("round %d: got %v, want the lowest-index error", round, err)
+		}
+	}
+}
+
+// TestConcurrentFailuresAllIndexes makes every callback fail with a
+// distinct error; index 0's error must always surface.
+func TestConcurrentFailuresAllIndexes(t *testing.T) {
+	const n = 128
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = fmt.Errorf("err %d", i)
+	}
+	for round := 0; round < 25; round++ {
+		err := For(16, n, func(i int) error { return errs[i] })
+		if !errors.Is(err, errs[0]) {
+			t.Fatalf("round %d: got %v, want %v", round, err, errs[0])
+		}
+	}
+}
+
+func TestErrorDoesNotAbortOtherIndexes(t *testing.T) {
+	const n = 64
+	var visited int32
+	err := For(4, n, func(i int) error {
+		atomic.AddInt32(&visited, 1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// With >1 worker every index is still dispatched; with the inline
+	// fast path (1 effective worker) the loop stops early, so only
+	// require that a failure never deadlocks or loses work silently.
+	if visited == 0 {
+		t.Fatal("no indexes visited")
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				if s, ok := r.(string); !ok || s != "boom 7" {
+					t.Fatalf("recovered %v, want \"boom 7\"", r)
+				}
+			}()
+			_ = For(workers, 32, func(i int) error {
+				if i == 7 {
+					panic("boom 7")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestPanicLowestIndexWins: with several panicking indexes, the re-raised
+// value must be the lowest index's, deterministically.
+func TestPanicLowestIndexWins(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		func() {
+			defer func() {
+				r := recover()
+				if s, ok := r.(string); !ok || s != "panic 5" {
+					t.Fatalf("round %d: recovered %v, want \"panic 5\"", round, r)
+				}
+			}()
+			_ = For(8, 200, func(i int) error {
+				switch i {
+				case 5, 6, 150:
+					panic(fmt.Sprintf("panic %d", i))
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestPanicBeatsError(t *testing.T) {
+	// A panic anywhere must surface as a panic even when other indexes
+	// returned errors.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = For(4, 50, func(i int) error {
+		if i == 10 {
+			panic("explode")
+		}
+		return errors.New("regular")
+	})
+}
+
+func TestBlocksPartitionExactly(t *testing.T) {
+	for _, tc := range []struct{ n, block int }{
+		{1, 1}, {7, 3}, {100, 1}, {100, 7}, {100, 100}, {100, 1000}, {4096, 64},
+	} {
+		for _, workers := range []int{1, 5} {
+			covered := make([]int32, tc.n)
+			err := Blocks(workers, tc.n, tc.block, func(lo, hi int) error {
+				if lo >= hi || lo < 0 || hi > tc.n {
+					return fmt.Errorf("bad block [%d,%d)", lo, hi)
+				}
+				if hi-lo > tc.block {
+					return fmt.Errorf("block [%d,%d) exceeds size %d", lo, hi, tc.block)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d block=%d workers=%d: %v", tc.n, tc.block, workers, err)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d block=%d workers=%d: index %d covered %d times",
+						tc.n, tc.block, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestBlocksDecompositionIndependentOfWorkers: the default block
+// boundaries must be a function of n only — the determinism guarantee the
+// KDE engine relies on.
+func TestBlocksDecompositionIndependentOfWorkers(t *testing.T) {
+	boundaries := func(workers, n int) map[[2]int]bool {
+		var mu sync.Mutex
+		set := map[[2]int]bool{}
+		if err := Blocks(workers, n, 0, func(lo, hi int) error {
+			mu.Lock()
+			set[[2]int{lo, hi}] = true
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	for _, n := range []int{1, 17, 255, 256, 257, 10000} {
+		ref := boundaries(1, n)
+		for _, workers := range []int{2, 3, 16} {
+			got := boundaries(workers, n)
+			if len(got) != len(ref) {
+				t.Fatalf("n=%d: %d blocks at workers=%d, %d at workers=1", n, len(got), workers, len(ref))
+			}
+			for b := range ref {
+				if !got[b] {
+					t.Fatalf("n=%d workers=%d: block %v missing", n, workers, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksErrorLowestBlockWins(t *testing.T) {
+	errA := errors.New("block 0")
+	errB := errors.New("late block")
+	for round := 0; round < 25; round++ {
+		err := Blocks(8, 1000, 10, func(lo, hi int) error {
+			switch lo {
+			case 40:
+				return errA
+			case 50, 990:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("round %d: got %v, want %v", round, err, errA)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(8, 3); got != 3 {
+		t.Errorf("Resolve(8, 3) = %d, want 3", got)
+	}
+	if got := Resolve(8, 0); got != 1 {
+		t.Errorf("Resolve(8, 0) = %d, want 1", got)
+	}
+	if got := Resolve(2, 100); got != 2 {
+		t.Errorf("Resolve(2, 100) = %d, want 2", got)
+	}
+}
+
+func TestDefaultBlock(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {256, 1}, {257, 2}, {10000, 40},
+	} {
+		if got := DefaultBlock(tc.n); got != tc.want {
+			t.Errorf("DefaultBlock(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

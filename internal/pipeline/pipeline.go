@@ -13,9 +13,7 @@ package pipeline
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/bgp"
@@ -24,6 +22,7 @@ import (
 	"eyeballas/internal/geodb"
 	"eyeballas/internal/ipnet"
 	"eyeballas/internal/p2p"
+	"eyeballas/internal/parallel"
 	"eyeballas/internal/rng"
 	"eyeballas/internal/stats"
 )
@@ -44,6 +43,12 @@ type Config struct {
 	// at 89M-crawl scale; the default here is scaled to the synthetic
 	// crawl size.
 	MinPeers int
+	// Workers bounds the goroutines used by the parallel stages (per-peer
+	// geolocation, per-AS conditioning, per-vantage RIB construction);
+	// 0 means GOMAXPROCS, 1 forces serial execution. Output is
+	// byte-identical for every setting: results are index-addressed and
+	// aggregation always applies them in a fixed order.
+	Workers int
 }
 
 // DefaultConfig returns thresholds for the default synthetic scale
@@ -144,30 +149,12 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins *bgp.OriginTable, cfg C
 	seenIP := make(map[ipnet.Addr]astopo.ASN, len(crawl.Peers))
 
 	results := make([]located, len(crawl.Peers))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(crawl.Peers) {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (len(crawl.Peers) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(crawl.Peers) {
-			hi = len(crawl.Peers)
+	_ = parallel.Blocks(cfg.Workers, len(crawl.Peers), 0, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			results[i] = locateOne(crawl.Peers[i], dbA, dbB, origins, cfg)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				results[i] = locateOne(crawl.Peers[i], dbA, dbB, origins, cfg)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		return nil
+	})
 
 	for i, peer := range crawl.Peers {
 		r := results[i]
@@ -232,33 +219,68 @@ func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins *bgp.OriginTable, cfg 
 	}
 }
 
-// condition applies the AS-level filters and classification.
+// condition applies the AS-level filters and classification. The per-AS
+// statistics (geo-error percentile, level classification, dominant
+// region) are pure functions of each record, so they fan out over the
+// worker pool into index-addressed verdicts; the filters and counters are
+// then applied serially in ascending-ASN order, making drop counts,
+// Order, and TotalPeers identical for every worker count.
 func condition(ds *Dataset, cfg Config) *Dataset {
-	// AS-level conditioning.
-	for asn, rec := range ds.ASes {
+	asns := make([]astopo.ASN, 0, len(ds.ASes))
+	for asn := range ds.ASes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	type verdict struct {
+		small   bool
+		highErr bool
+		p90     float64
+		class   core.Classification
+		region  gazetteer.Region
+	}
+	verdicts := make([]verdict, len(asns))
+	_ = parallel.ForEach(cfg.Workers, asns, func(i int, asn astopo.ASN) error {
+		rec := ds.ASes[asn]
 		if len(rec.Samples) < cfg.MinPeers {
-			delete(ds.ASes, asn)
-			ds.Drops.SmallAS++
-			continue
+			verdicts[i].small = true
+			return nil
 		}
 		errs := make([]float64, len(rec.Samples))
-		for i, s := range rec.Samples {
-			errs[i] = s.GeoErrKm
+		for j, s := range rec.Samples {
+			errs[j] = s.GeoErrKm
 		}
-		rec.P90GeoErrKm = stats.Percentile(errs, 90)
-		if rec.P90GeoErrKm > cfg.MaxP90GeoErrKm {
+		p90 := stats.Percentile(errs, 90)
+		if p90 > cfg.MaxP90GeoErrKm {
+			verdicts[i] = verdict{highErr: true, p90: p90}
+			return nil
+		}
+		verdicts[i] = verdict{
+			p90:    p90,
+			class:  core.ClassifyLevel(rec.Samples),
+			region: core.DominantRegion(rec.Samples),
+		}
+		return nil
+	})
+
+	for i, asn := range asns {
+		v := verdicts[i]
+		switch {
+		case v.small:
+			delete(ds.ASes, asn)
+			ds.Drops.SmallAS++
+		case v.highErr:
 			delete(ds.ASes, asn)
 			ds.Drops.HighErrAS++
-			continue
+		default:
+			rec := ds.ASes[asn]
+			rec.P90GeoErrKm = v.p90
+			rec.Class = v.class
+			rec.Region = v.region
+			ds.TotalPeers += len(rec.Samples)
+			ds.Order = append(ds.Order, asn)
 		}
-		rec.Class = core.ClassifyLevel(rec.Samples)
-		rec.Region = core.DominantRegion(rec.Samples)
-		ds.TotalPeers += len(rec.Samples)
 	}
-	for asn := range ds.ASes {
-		ds.Order = append(ds.Order, asn)
-	}
-	sort.Slice(ds.Order, func(i, j int) bool { return ds.Order[i] < ds.Order[j] })
 	return ds
 }
 
@@ -271,24 +293,31 @@ func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*D
 		return nil, nil, err
 	}
 	routing := bgp.ComputeRouting(w)
-	var ribs []*bgp.RIB
-	count := 0
+	// Per-vantage RIB construction is independent; fan it out, keeping
+	// the vantage order (and thus the origin table) fixed.
+	var vantages []astopo.ASN
 	for _, a := range w.ASes() {
 		if a.Kind != astopo.KindTier1 {
 			continue
 		}
-		rib, err := bgp.BuildRIB(w, routing, a.ASN)
-		if err != nil {
-			return nil, nil, err
-		}
-		ribs = append(ribs, rib)
-		count++
-		if count == 3 {
+		vantages = append(vantages, a.ASN)
+		if len(vantages) == 3 {
 			break
 		}
 	}
-	if len(ribs) == 0 {
+	if len(vantages) == 0 {
 		return nil, nil, fmt.Errorf("pipeline: world has no tier-1 vantage points")
+	}
+	ribs := make([]*bgp.RIB, len(vantages))
+	if err := parallel.ForEach(cfg.Workers, vantages, func(i int, vantage astopo.ASN) error {
+		rib, err := bgp.BuildRIB(w, routing, vantage)
+		if err != nil {
+			return err
+		}
+		ribs[i] = rib
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	origins := bgp.NewOriginTable(ribs...)
 	ds, err := Build(crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)

@@ -8,33 +8,37 @@ import (
 	"eyeballas/internal/p2p"
 )
 
-var shared struct {
-	once  sync.Once
+// sharedEnv is the fixture every test reads (and none mutates).
+type sharedEnv struct {
 	world *astopo.World
 	ds    *Dataset
 	crawl *p2p.Crawl
-	err   error
 }
+
+// sharedSetup builds the fixture exactly once. sync.OnceValues (rather
+// than a package-level struct mutated inside a sync.Once body) keeps the
+// fixture safe under `go test -race -shuffle=on`: every access flows
+// through the Once's happens-before edge and there is no package-level
+// mutable state to write to at all.
+var sharedSetup = sync.OnceValues(func() (*sharedEnv, error) {
+	w, err := astopo.Generate(astopo.SmallConfig(71))
+	if err != nil {
+		return nil, err
+	}
+	ds, crawl, err := Run(w, p2p.DefaultConfig(), DefaultConfig(), 71)
+	if err != nil {
+		return nil, err
+	}
+	return &sharedEnv{world: w, ds: ds, crawl: crawl}, nil
+})
 
 func setup(t *testing.T) (*astopo.World, *Dataset, *p2p.Crawl) {
 	t.Helper()
-	shared.once.Do(func() {
-		w, err := astopo.Generate(astopo.SmallConfig(71))
-		if err != nil {
-			shared.err = err
-			return
-		}
-		ds, crawl, err := Run(w, p2p.DefaultConfig(), DefaultConfig(), 71)
-		if err != nil {
-			shared.err = err
-			return
-		}
-		shared.world, shared.ds, shared.crawl = w, ds, crawl
-	})
-	if shared.err != nil {
-		t.Fatal(shared.err)
+	env, err := sharedSetup()
+	if err != nil {
+		t.Fatal(err)
 	}
-	return shared.world, shared.ds, shared.crawl
+	return env.world, env.ds, env.crawl
 }
 
 func TestBuildProducesTargetDataset(t *testing.T) {
