@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"eyeballas/internal/astopo"
+	"eyeballas/internal/ipnet"
 )
 
 var benchWorld struct {
@@ -62,6 +63,45 @@ func BenchmarkOriginLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := rib.OriginOf(probe); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// originBenchProbes mimics the pipeline's per-peer stage: one lookup per
+// peer, spread over every eyeball AS's address space.
+func originBenchProbes(w *astopo.World) []ipnet.Addr {
+	var probes []ipnet.Addr
+	for i, a := range w.Eyeballs() {
+		for _, p := range a.Prefixes {
+			probes = append(probes, p.Nth(uint64(i)*7919+1), p.Nth(uint64(i)*104729+13))
+		}
+	}
+	return probes
+}
+
+// BenchmarkOriginOfCompiled vs BenchmarkOriginOfTrie: the compiled flat
+// LPM against the mutable radix trie on the same merged origin table —
+// the pipeline's hottest scalar call (89.1M lookups at paper scale).
+func BenchmarkOriginOfCompiled(b *testing.B) {
+	w, _, rib := benchSetup(b)
+	ot := NewOriginTable(rib)
+	probes := originBenchProbes(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ot.OriginOf(probes[i%len(probes)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkOriginOfTrie(b *testing.B) {
+	w, _, rib := benchSetup(b)
+	ot := NewOriginTable(rib)
+	probes := originBenchProbes(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ot.OriginOfUncompiled(probes[i%len(probes)]); !ok {
 			b.Fatal("miss")
 		}
 	}

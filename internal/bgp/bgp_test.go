@@ -240,14 +240,71 @@ func TestRIBSerializationRoundTrip(t *testing.T) {
 
 func TestReadRIBErrors(t *testing.T) {
 	for name, in := range map[string]string{
-		"no-bar":    "10.0.0.0/8 100 200\n",
-		"bad-pfx":   "10.0.0/8|100\n",
-		"bad-asn":   "10.0.0.0/8|abc\n",
-		"empty-pth": "10.0.0.0/8|\n",
+		"no-bar":       "10.0.0.0/8 100 200\n",
+		"bad-pfx":      "10.0.0/8|100\n",
+		"bad-asn":      "10.0.0.0/8|abc\n",
+		"empty-pth":    "10.0.0.0/8|\n",
+		"bad-entries":  "# eyeballas RIB vantage=1 entries=abc\n10.0.0.0/8|100\n",
+		"neg-entries":  "# eyeballas RIB vantage=1 entries=-2\n10.0.0.0/8|100\n",
+		"few-entries":  "# eyeballas RIB vantage=1 entries=3\n10.0.0.0/8|100\n",
+		"many-entries": "# eyeballas RIB vantage=1 entries=1\n10.0.0.0/8|100\n11.0.0.0/8|200\n",
 	} {
 		if _, err := ReadRIB(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted %q", name, in)
 		}
+	}
+	// Without a header the count is unchecked (foreign dumps may lack it).
+	if _, err := ReadRIB(strings.NewReader("10.0.0.0/8|100\n")); err != nil {
+		t.Errorf("headerless dump rejected: %v", err)
+	}
+}
+
+// TestReadRIBTruncated: cutting rows off a WriteTo dump must be detected
+// via the entries= header instead of silently yielding a partial table.
+func TestReadRIBTruncated(t *testing.T) {
+	w, r := testWorld(t)
+	rib, err := BuildRIB(w, r, w.ASNs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-3], "")
+	if _, err := ReadRIB(strings.NewReader(truncated)); err == nil {
+		t.Error("truncated dump accepted")
+	}
+	// The untruncated dump still round-trips.
+	if _, err := ReadRIB(strings.NewReader(full)); err != nil {
+		t.Errorf("full dump rejected: %v", err)
+	}
+}
+
+// TestOriginOfCompiledMatchesTrie sweeps every entry boundary of a real
+// RIB-derived origin table: the compiled path and the trie reference path
+// must agree exactly.
+func TestOriginOfCompiledMatchesTrie(t *testing.T) {
+	w, r := testWorld(t)
+	rib1, _ := BuildRIB(w, r, w.ASNs()[0])
+	rib2, _ := BuildRIB(w, r, w.ASNs()[1])
+	ot := NewOriginTable(rib1, rib2)
+	probe := func(a ipnet.Addr) {
+		t.Helper()
+		v1, ok1 := ot.OriginOf(a)
+		v2, ok2 := ot.OriginOfUncompiled(a)
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("OriginOf(%v): compiled %v,%v vs trie %v,%v", a, v1, ok1, v2, ok2)
+		}
+	}
+	for _, e := range rib1.Entries {
+		probe(e.Prefix.First() - 1)
+		probe(e.Prefix.First())
+		probe(e.Prefix.Nth(3))
+		probe(e.Prefix.Last())
+		probe(e.Prefix.Last() + 1)
 	}
 }
 

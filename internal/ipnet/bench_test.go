@@ -1,6 +1,7 @@
 package ipnet
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -17,6 +18,113 @@ func benchTable(nPrefixes int) (*Table[int], []Addr) {
 		probes = append(probes, p.Nth(uint64(i)*7919))
 	}
 	return tb, probes
+}
+
+// ribScale approximates a merged RouteViews origin table: ~100k prefixes
+// of mixed /16../23 lengths. Built once and shared across benchmarks.
+const ribScale = 100_000
+
+var ribBench struct {
+	once     sync.Once
+	table    *Table[int]
+	compiled *Compiled[int]
+	dense    []Addr // probes that hit stored prefixes
+	sparse   []Addr // probes spread over the whole space (mostly misses)
+}
+
+func ribBenchSetup(b *testing.B) {
+	b.Helper()
+	ribBench.once.Do(func() {
+		tb, dense := benchTable(ribScale)
+		ribBench.table = tb
+		ribBench.compiled = tb.Compile()
+		// Dense mix: one probe inside every stored prefix, shuffled so
+		// consecutive lookups do not share trie paths or cache lines —
+		// the pipeline's peers arrive in arbitrary address order, not
+		// sorted by prefix.
+		x := uint32(0x9e3779b9)
+		next := func(n int) int { // deterministic LCG in [0, n)
+			x = x*1664525 + 1013904223
+			return int(uint64(x) * uint64(n) >> 32)
+		}
+		for i := len(dense) - 1; i > 0; i-- {
+			j := next(i + 1)
+			dense[i], dense[j] = dense[j], dense[i]
+		}
+		ribBench.dense = dense
+		// Sparse mix: a pseudo-random walk over the full 32-bit space,
+		// including unallocated and reserved regions.
+		ribBench.sparse = make([]Addr, len(dense))
+		for i := range ribBench.sparse {
+			x = x*1664525 + 1013904223
+			ribBench.sparse[i] = Addr(x)
+		}
+	})
+}
+
+func benchLookupTrie(b *testing.B, sparse bool) {
+	ribBenchSetup(b)
+	probes := ribBench.dense
+	if sparse {
+		probes = ribBench.sparse
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ribBench.table.Lookup(probes[i%len(probes)])
+	}
+}
+
+func benchLookupCompiled(b *testing.B, sparse bool) {
+	ribBenchSetup(b)
+	probes := ribBench.dense
+	if sparse {
+		probes = ribBench.sparse
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ribBench.compiled.Lookup(probes[i%len(probes)])
+	}
+}
+
+// The Dense/Sparse pairs below are the PR's headline numbers
+// (BENCH_pr2.json): trie = before, compiled = after.
+
+func BenchmarkTableLookupDense(b *testing.B)     { benchLookupTrie(b, false) }
+func BenchmarkTableLookupSparse(b *testing.B)    { benchLookupTrie(b, true) }
+func BenchmarkCompiledLookupDense(b *testing.B)  { benchLookupCompiled(b, false) }
+func BenchmarkCompiledLookupSparse(b *testing.B) { benchLookupCompiled(b, true) }
+
+// BenchmarkCompileRIBScale measures the one-off cost of freezing a
+// RIB-scale trie into the flat form.
+func BenchmarkCompileRIBScale(b *testing.B) {
+	ribBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := ribBench.table.Compile(); c.Len() != ribScale {
+			b.Fatal("bad compile")
+		}
+	}
+}
+
+// BenchmarkTableBuildRIBScale measures building the mutable trie itself
+// (the construction-time structure the compiled form snapshots).
+func BenchmarkTableBuildRIBScale(b *testing.B) {
+	al := NewAllocator()
+	prefixes := make([]Prefix, ribScale)
+	for i := range prefixes {
+		p, err := al.Alloc(16 + i%8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefixes[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewTable[int]()
+		for j, p := range prefixes {
+			tb.Insert(p, j)
+		}
+	}
 }
 
 func BenchmarkTableLookup(b *testing.B) {

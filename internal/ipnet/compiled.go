@@ -1,0 +1,184 @@
+package ipnet
+
+// Compiled is an immutable, flat compilation of a Table: the
+// pointer-chasing binary radix trie frozen into sorted disjoint address
+// ranges, one per region of the address space with a distinct
+// longest-prefix match. Lookup is a single allocation-free binary search
+// over a contiguous []Addr — at most ⌈log₂(2n+1)⌉ comparisons touching a
+// handful of cache lines — instead of up to 32 dependent pointer loads in
+// the trie. See DESIGN.md §"Compiled LPM" for the structure choice.
+//
+// A Compiled view is a snapshot: mutating the source Table after Compile
+// does not affect it. It is safe for concurrent use by multiple
+// goroutines.
+type Compiled[V any] struct {
+	// prefixes/values hold the stored pairs in the trie's Walk order
+	// (lexicographic: ascending address, then ascending length); they
+	// back Walk, Len, and LookupPrefix.
+	prefixes []Prefix
+	values   []V
+
+	// starts/segIdx are the flattened LPM: starts is the ascending list
+	// of segment start addresses (starts[0] is always 0) and segIdx[i]
+	// is the index into prefixes/values of the longest prefix covering
+	// [starts[i], starts[i+1]), or -1 where no stored prefix matches.
+	// A prefix set of size n flattens to at most 2n+1 segments.
+	starts []Addr
+	segIdx []int32
+
+	// first is the direct-indexed top level: first[c] is the index of
+	// the first segment whose start lies at or above c<<16, for every
+	// 16-bit chunk c (first[1<<16] == len(starts)). A lookup lands in
+	// the window [first[a>>16], first[a>>16+1]) — on real routing
+	// tables a handful of segments — so the binary search degenerates
+	// to a couple of comparisons against adjacent cache lines instead
+	// of ~log₂(2n) scattered probes.
+	first []int32
+}
+
+// maxAddr is the highest IPv4 address (255.255.255.255).
+const maxAddr = ^Addr(0)
+
+// Compile freezes the table into its flat immutable form. The build is a
+// single in-order walk of the trie with a stack of enclosing prefixes —
+// O(n) segments from n prefixes, O(n·w) time for trie depth w — and is
+// deterministic: compiling the same table twice yields identical
+// structures.
+func (t *Table[V]) Compile() *Compiled[V] {
+	c := &Compiled[V]{
+		prefixes: make([]Prefix, 0, t.size),
+		values:   make([]V, 0, t.size),
+		starts:   make([]Addr, 0, 2*t.size+1),
+		segIdx:   make([]int32, 0, 2*t.size+1),
+	}
+	// frame is one enclosing prefix on the sweep stack; prefixes form a
+	// laminar family, so the stack is properly nested and the innermost
+	// (longest) match is always on top.
+	type frame struct {
+		last Addr  // last address covered by the prefix
+		idx  int32 // index into c.prefixes
+	}
+	// Sentinel: the whole space matches nothing until a prefix starts.
+	stack := []frame{{last: maxAddr, idx: -1}}
+	c.emit(0, -1)
+
+	t.Walk(func(p Prefix, v V) bool {
+		idx := int32(len(c.prefixes))
+		c.prefixes = append(c.prefixes, p)
+		c.values = append(c.values, v)
+		// Close every enclosing prefix that ends before this one starts;
+		// the range after it resumes the next prefix down the stack.
+		for len(stack) > 1 && stack[len(stack)-1].last < p.Addr {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c.emit(top.last+1, stack[len(stack)-1].idx)
+		}
+		c.emit(p.Addr, idx)
+		stack = append(stack, frame{last: p.Last(), idx: idx})
+		return true
+	})
+	// Drain the stack: each closing prefix resumes its parent, except at
+	// the very top of the address space where nothing follows.
+	for len(stack) > 1 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if top.last == maxAddr {
+			break // everything below ends at maxAddr too
+		}
+		c.emit(top.last+1, stack[len(stack)-1].idx)
+	}
+	// Top-level chunk index, filled segment-driven in one pass:
+	// first[ch] is the first segment k with starts[k] >= ch<<16, i.e.
+	// the first k whose chunk starts[k]>>16 reaches ch. first[0] = 0
+	// (starts[0] == 0) stays from make.
+	c.first = make([]int32, (1<<16)+1)
+	ch := 1
+	for k := 1; k < len(c.starts); k++ {
+		for sc := int(c.starts[k] >> 16); ch <= sc; ch++ {
+			c.first[ch] = int32(k)
+		}
+	}
+	for ; ch <= 1<<16; ch++ {
+		c.first[ch] = int32(len(c.starts))
+	}
+	return c
+}
+
+// emit records that the longest-prefix match changes to prefix index idx
+// at address start. Re-emitting at the same start overrides (a nested
+// prefix beginning exactly where its parent does), and consecutive
+// segments with the same match are merged.
+func (c *Compiled[V]) emit(start Addr, idx int32) {
+	if n := len(c.starts); n > 0 && c.starts[n-1] == start {
+		c.starts = c.starts[:n-1]
+		c.segIdx = c.segIdx[:n-1]
+	}
+	if n := len(c.segIdx); n > 0 && c.segIdx[n-1] == idx {
+		return
+	}
+	c.starts = append(c.starts, start)
+	c.segIdx = append(c.segIdx, idx)
+}
+
+// Lookup returns the value of the longest stored prefix containing a.
+// ok is false if no stored prefix contains a. It performs no allocation
+// and is safe for concurrent use.
+func (c *Compiled[V]) Lookup(a Addr) (val V, ok bool) {
+	// Stage 1: direct-index the top 16 bits to a narrow segment window.
+	chunk := uint32(a) >> 16
+	i, j := int(c.first[chunk]), int(c.first[chunk+1])
+	// Stage 2: rightmost segment with starts[i] <= a inside the window;
+	// if none starts within this chunk the match is the segment carried
+	// in from below (i-1). starts[0] == 0 guarantees i-1 >= 0.
+	starts := c.starts
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if starts[h] <= a {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	idx := c.segIdx[i-1]
+	if idx < 0 {
+		return val, false
+	}
+	return c.values[idx], true
+}
+
+// LookupPrefix returns the value stored for exactly p, mirroring
+// Table.LookupPrefix.
+func (c *Compiled[V]) LookupPrefix(p Prefix) (val V, ok bool) {
+	// prefixes is sorted by (Addr, Bits); binary search for p.
+	i, j := 0, len(c.prefixes)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		q := c.prefixes[h]
+		if q.Addr < p.Addr || (q.Addr == p.Addr && q.Bits < p.Bits) {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	if i < len(c.prefixes) && c.prefixes[i] == p {
+		return c.values[i], true
+	}
+	return val, false
+}
+
+// Len returns the number of prefixes stored.
+func (c *Compiled[V]) Len() int { return len(c.prefixes) }
+
+// Segments returns the number of flattened address ranges backing Lookup
+// (diagnostic: at most 2·Len()+1).
+func (c *Compiled[V]) Segments() int { return len(c.starts) }
+
+// Walk visits every stored (prefix, value) pair in the same lexicographic
+// order as Table.Walk. Returning false from fn stops the walk.
+func (c *Compiled[V]) Walk(fn func(Prefix, V) bool) {
+	for i, p := range c.prefixes {
+		if !fn(p, c.values[i]) {
+			return
+		}
+	}
+}

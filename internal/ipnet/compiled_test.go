@@ -1,0 +1,222 @@
+package ipnet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestWalkExtremePrefixLengths is the regression test for the /32
+// negative-shift panic: Walk over a table holding /0, /31, and /32
+// entries must visit all of them in lexicographic order without
+// panicking.
+func TestWalkExtremePrefixLengths(t *testing.T) {
+	tb := NewTable[string]()
+	host, _ := ParseAddr("1.2.3.4")
+	entries := []struct {
+		p Prefix
+		v string
+	}{
+		{Prefix{Addr: 0, Bits: 0}, "default"},
+		{MakePrefix(host, 31), "p31"},
+		{Prefix{Addr: host, Bits: 32}, "host"},
+		{Prefix{Addr: maxAddr, Bits: 32}, "top"},
+	}
+	for _, e := range entries {
+		tb.Insert(e.p, e.v)
+	}
+	var got []string
+	tb.Walk(func(p Prefix, v string) bool {
+		got = append(got, p.String()+"="+v)
+		return true
+	})
+	want := []string{
+		"0.0.0.0/0=default",
+		"1.2.3.4/31=p31",
+		"1.2.3.4/32=host",
+		"255.255.255.255/32=top",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk = %v, want %v", got, want)
+	}
+	// Early stop still works with a /32 present.
+	n := 0
+	tb.Walk(func(Prefix, string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestCompiledEmpty(t *testing.T) {
+	c := NewTable[int]().Compile()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if _, ok := c.Lookup(MakeAddr(1, 2, 3, 4)); ok {
+		t.Error("empty compiled table matched")
+	}
+	if _, ok := c.LookupPrefix(MakePrefix(0, 8)); ok {
+		t.Error("empty compiled table matched a prefix")
+	}
+	c.Walk(func(Prefix, int) bool { t.Error("walk visited on empty"); return true })
+}
+
+func TestCompiledLongestPrefixMatch(t *testing.T) {
+	tb := NewTable[string]()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), "big")
+	tb.Insert(mustPrefix(t, "10.1.0.0/16"), "mid")
+	tb.Insert(mustPrefix(t, "10.1.2.0/24"), "small")
+	c := tb.Compile()
+
+	for _, tc := range []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "small", true},
+		{"10.1.9.9", "mid", true},
+		{"10.9.9.9", "big", true},
+		{"10.1.2.255", "small", true},
+		{"10.1.3.0", "mid", true},
+		{"9.255.255.255", "", false},
+		{"11.0.0.0", "", false},
+		{"0.0.0.0", "", false},
+		{"255.255.255.255", "", false},
+	} {
+		a, _ := ParseAddr(tc.addr)
+		got, ok := c.Lookup(a)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q, %v", tc.addr, got, ok, tc.want, tc.ok)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCompiledDefaultRouteAndHostRoutes(t *testing.T) {
+	tb := NewTable[int]()
+	tb.Insert(Prefix{Addr: 0, Bits: 0}, 1) // default route: /0 at the sweep origin
+	host, _ := ParseAddr("200.1.1.1")
+	tb.Insert(Prefix{Addr: host, Bits: 32}, 2)
+	tb.Insert(Prefix{Addr: maxAddr, Bits: 32}, 3) // /32 at the very top of the space
+	c := tb.Compile()
+
+	if v, ok := c.Lookup(0); !ok || v != 1 {
+		t.Errorf("Lookup(0) = %v, %v", v, ok)
+	}
+	if v, ok := c.Lookup(host); !ok || v != 2 {
+		t.Errorf("Lookup(host) = %v, %v", v, ok)
+	}
+	if v, ok := c.Lookup(host - 1); !ok || v != 1 {
+		t.Errorf("Lookup(host-1) = %v, %v (default route should resume)", v, ok)
+	}
+	if v, ok := c.Lookup(host + 1); !ok || v != 1 {
+		t.Errorf("Lookup(host+1) = %v, %v (default route should resume)", v, ok)
+	}
+	if v, ok := c.Lookup(maxAddr); !ok || v != 3 {
+		t.Errorf("Lookup(max) = %v, %v", v, ok)
+	}
+}
+
+func TestCompiledSnapshotSemantics(t *testing.T) {
+	tb := NewTable[int]()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), 1)
+	c := tb.Compile()
+	tb.Insert(mustPrefix(t, "10.1.0.0/16"), 2)
+	a, _ := ParseAddr("10.1.0.1")
+	if v, _ := c.Lookup(a); v != 1 {
+		t.Errorf("compiled view saw a post-Compile insert: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("compiled Len changed: %d", c.Len())
+	}
+}
+
+func TestCompiledRecompileDeterministic(t *testing.T) {
+	tb := NewTable[int]()
+	al := NewAllocator()
+	for i := 0; i < 500; i++ {
+		p, err := al.Alloc(16 + i%8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Insert(p, i)
+	}
+	tb.Insert(Prefix{Addr: 0, Bits: 0}, -7)
+	c1, c2 := tb.Compile(), tb.Compile()
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("re-Compile produced a different structure")
+	}
+}
+
+// TestCompiledMatchesTable cross-checks the compiled form against the
+// trie over random prefix sets covering the full /0..=/32 length range,
+// on probes at and around every segment boundary.
+func TestCompiledMatchesTable(t *testing.T) {
+	f := func(seeds []uint64, probes []uint32) bool {
+		if len(seeds) > 128 {
+			seeds = seeds[:128]
+		}
+		tb := NewTable[int]()
+		for i, s := range seeds {
+			tb.Insert(MakePrefix(Addr(s), int(s>>32)%33), i)
+		}
+		c := tb.Compile()
+		if c.Len() != tb.Len() {
+			return false
+		}
+		// Probe random addresses plus every boundary ±1.
+		addrs := make([]Addr, 0, len(probes)+3*len(c.starts))
+		for _, p := range probes {
+			addrs = append(addrs, Addr(p))
+		}
+		for _, s := range c.starts {
+			addrs = append(addrs, s-1, s, s+1)
+		}
+		for _, a := range addrs {
+			v1, ok1 := tb.Lookup(a)
+			v2, ok2 := c.Lookup(a)
+			if ok1 != ok2 || v1 != v2 {
+				t.Logf("Lookup(%v) trie=%v,%v compiled=%v,%v", a, v1, ok1, v2, ok2)
+				return false
+			}
+		}
+		// Walk agreement, and exact-prefix agreement on every entry.
+		type pair struct {
+			p Prefix
+			v int
+		}
+		var wt, wc []pair
+		tb.Walk(func(p Prefix, v int) bool { wt = append(wt, pair{p, v}); return true })
+		c.Walk(func(p Prefix, v int) bool { wc = append(wc, pair{p, v}); return true })
+		if !reflect.DeepEqual(wt, wc) {
+			return false
+		}
+		for _, e := range wt {
+			if v, ok := c.LookupPrefix(e.p); !ok || v != e.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledSegmentBound(t *testing.T) {
+	tb := NewTable[int]()
+	al := NewAllocator()
+	for i := 0; i < 1000; i++ {
+		p, err := al.Alloc(16 + i%8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Insert(p, i)
+	}
+	c := tb.Compile()
+	if c.Segments() > 2*c.Len()+1 {
+		t.Fatalf("segment bound violated: %d segments for %d prefixes", c.Segments(), c.Len())
+	}
+}

@@ -1,6 +1,10 @@
 package ipnet
 
-import "testing"
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
 
 // FuzzParseAddr exercises the address parser: it must never panic, and
 // anything it accepts must round-trip through String.
@@ -20,9 +24,14 @@ func FuzzParseAddr(f *testing.F) {
 	})
 }
 
-// FuzzParsePrefix exercises the prefix parser the same way.
+// FuzzParsePrefix exercises the prefix parser the same way, and pushes
+// every accepted prefix — the corpus includes /0 and /32 — through a
+// table insert + Walk, which used to panic on /32 (negative shift).
 func FuzzParsePrefix(f *testing.F) {
-	for _, seed := range []string{"10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32", "10.0.0.1/8", "x/8", "10.0.0.0/33", ""} {
+	for _, seed := range []string{
+		"10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32", "10.0.0.1/8", "x/8", "10.0.0.0/33", "",
+		"255.255.255.255/32", "255.255.255.254/31", "128.0.0.0/1",
+	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, s string) {
@@ -37,6 +46,130 @@ func FuzzParsePrefix(f *testing.F) {
 		// Accepted prefixes are canonical.
 		if p.Addr&^(^Addr(0)<<(32-p.Bits)) != 0 && p.Bits < 32 {
 			t.Fatalf("non-canonical prefix accepted: %v", p)
+		}
+		// Any accepted prefix must survive a store-and-walk alongside the
+		// extreme lengths.
+		tb := NewTable[int]()
+		tb.Insert(p, 1)
+		tb.Insert(Prefix{Addr: 0, Bits: 0}, 2)
+		tb.Insert(Prefix{Addr: p.Addr, Bits: 32}, 3)
+		visited := 0
+		var prev Prefix
+		tb.Walk(func(q Prefix, _ int) bool {
+			if visited > 0 && (q.Addr < prev.Addr || (q.Addr == prev.Addr && q.Bits <= prev.Bits)) {
+				t.Fatalf("walk order violated: %v after %v", q, prev)
+			}
+			prev = q
+			visited++
+			return true
+		})
+		if visited != tb.Len() {
+			t.Fatalf("walk visited %d of %d entries", visited, tb.Len())
+		}
+		if v, ok := tb.Lookup(p.Addr); !ok || v != 3 {
+			t.Fatalf("host route shadowing failed: %v, %v", v, ok)
+		}
+	})
+}
+
+// FuzzCompiledVsTable is the differential target for the compiled LPM
+// form: random insert sets — including /0 and /32, duplicate prefixes,
+// and adjacent/nested ranges — must produce a Compiled whose Lookup,
+// LookupPrefix, Len, and Walk agree exactly with the mutable trie, and
+// whose re-Compile is bit-for-bit deterministic.
+func FuzzCompiledVsTable(f *testing.F) {
+	mk := func(prefixes ...string) []byte {
+		var b []byte
+		for _, s := range prefixes {
+			p, err := ParsePrefix(s)
+			if err != nil {
+				panic(err)
+			}
+			var rec [5]byte
+			binary.BigEndian.PutUint32(rec[:4], uint32(p.Addr))
+			rec[4] = byte(p.Bits)
+			b = append(b, rec[:]...)
+		}
+		return b
+	}
+	f.Add(mk("0.0.0.0/0"))
+	f.Add(mk("255.255.255.255/32"))
+	f.Add(mk("0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9", "10.1.2.3/32"))
+	f.Add(mk("1.0.0.0/8", "2.0.0.0/8", "1.255.255.255/32", "2.0.0.0/32"))
+	f.Add(mk("128.0.0.0/1", "0.0.0.0/1", "0.0.0.0/0"))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3}) // trailing partial record: ignored
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable[int]()
+		for i := 0; i+5 <= len(data) && i < 5*256; i += 5 {
+			addr := Addr(binary.BigEndian.Uint32(data[i : i+4]))
+			bits := int(data[i+4]) % 33 // full /0..=/32 range
+			tb.Insert(MakePrefix(addr, bits), i/5)
+		}
+		c := tb.Compile()
+
+		if c.Len() != tb.Len() {
+			t.Fatalf("Len: compiled %d vs trie %d", c.Len(), tb.Len())
+		}
+		if c.Segments() > 2*c.Len()+1 {
+			t.Fatalf("segment bound violated: %d segments for %d prefixes", c.Segments(), c.Len())
+		}
+
+		// Walk must agree element-for-element.
+		type pair struct {
+			p Prefix
+			v int
+		}
+		var wt, wc []pair
+		tb.Walk(func(p Prefix, v int) bool { wt = append(wt, pair{p, v}); return true })
+		c.Walk(func(p Prefix, v int) bool { wc = append(wc, pair{p, v}); return true })
+		if !reflect.DeepEqual(wt, wc) {
+			t.Fatalf("walk mismatch:\ntrie:     %v\ncompiled: %v", wt, wc)
+		}
+
+		// Lookup must agree on every segment boundary ±1, every stored
+		// prefix's first/last, and a spread of interior points.
+		probe := func(a Addr) {
+			v1, ok1 := tb.Lookup(a)
+			v2, ok2 := c.Lookup(a)
+			if ok1 != ok2 || v1 != v2 {
+				t.Fatalf("Lookup(%v): trie %v,%v vs compiled %v,%v", a, v1, ok1, v2, ok2)
+			}
+		}
+		for _, s := range c.starts {
+			probe(s - 1)
+			probe(s)
+			probe(s + 1)
+		}
+		for _, e := range wt {
+			probe(e.p.First())
+			probe(e.p.Last())
+			probe(e.p.Nth(e.p.NumAddrs() / 2))
+			if v, ok := c.LookupPrefix(e.p); !ok || v != e.v {
+				t.Fatalf("LookupPrefix(%v) = %v, %v; want %v", e.p, v, ok, e.v)
+			}
+		}
+		probe(0)
+		probe(maxAddr)
+
+		// Re-Compile determinism. The segment arrays are compared
+		// explicitly (cheaper under fuzz instrumentation than reflecting
+		// over the whole struct); the chunk index is a pure function of
+		// starts, so segment equality implies index equality.
+		c2 := tb.Compile()
+		if len(c.starts) != len(c2.starts) || len(c.prefixes) != len(c2.prefixes) {
+			t.Fatal("re-Compile changed sizes")
+		}
+		for i := range c.starts {
+			if c.starts[i] != c2.starts[i] || c.segIdx[i] != c2.segIdx[i] {
+				t.Fatalf("re-Compile differs at segment %d", i)
+			}
+		}
+		for i := range c.prefixes {
+			if c.prefixes[i] != c2.prefixes[i] || c.values[i] != c2.values[i] {
+				t.Fatalf("re-Compile differs at prefix %d", i)
+			}
 		}
 	})
 }

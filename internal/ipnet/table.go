@@ -72,20 +72,29 @@ func (t *Table[V]) LookupPrefix(p Prefix) (val V, ok bool) {
 }
 
 // Walk visits every stored (prefix, value) pair in lexicographic prefix
-// order. Returning false from fn stops the walk.
+// order (ascending address, then ascending length — so an enclosing prefix
+// is always visited before the prefixes nested inside it). Returning false
+// from fn stops the walk.
 func (t *Table[V]) Walk(fn func(Prefix, V) bool) {
 	var rec func(n *node[V], addr Addr, bits int) bool
 	rec = func(n *node[V], addr Addr, bits int) bool {
-		if n == nil {
-			return true
-		}
 		if n.set && !fn(Prefix{Addr: addr, Bits: bits}, n.val) {
 			return false
 		}
-		if !rec(n.child[0], addr, bits+1) {
+		// The child-address shift is computed only after the nil check:
+		// at bits == 32 (a stored /32 leaf) the expression 1<<(31-bits)
+		// would be a negative shift and panic at run time — but a /32
+		// node can never have children, so the guard also makes the
+		// arithmetic unreachable for it.
+		if c := n.child[0]; c != nil && !rec(c, addr, bits+1) {
 			return false
 		}
-		return rec(n.child[1], addr|Addr(1)<<(31-bits), bits+1)
+		if c := n.child[1]; c != nil {
+			return rec(c, addr|Addr(1)<<(31-bits), bits+1)
+		}
+		return true
 	}
-	rec(t.root, 0, 0)
+	if t.root != nil {
+		rec(t.root, 0, 0)
+	}
 }

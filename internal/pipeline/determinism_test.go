@@ -4,9 +4,60 @@ import (
 	"math"
 	"testing"
 
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/bgp"
 	"eyeballas/internal/core"
+	"eyeballas/internal/geodb"
+	"eyeballas/internal/ipnet"
 	"eyeballas/internal/p2p"
 )
+
+// assertDatasetsIdentical is the bit-level dataset comparison shared by
+// the determinism tests: same AS order, same drop counters, same
+// per-sample fields bit-for-bit.
+func assertDatasetsIdentical(t *testing.T, serial, wide *Dataset) {
+	t.Helper()
+	if len(serial.Order) != len(wide.Order) {
+		t.Fatalf("AS counts differ: %d vs %d", len(serial.Order), len(wide.Order))
+	}
+	for i := range serial.Order {
+		if serial.Order[i] != wide.Order[i] {
+			t.Fatalf("Order[%d] differs: %d vs %d", i, serial.Order[i], wide.Order[i])
+		}
+	}
+	if serial.Drops != wide.Drops {
+		t.Fatalf("drop counters differ: %+v vs %+v", serial.Drops, wide.Drops)
+	}
+	if serial.TotalPeers != wide.TotalPeers {
+		t.Fatalf("TotalPeers differs: %d vs %d", serial.TotalPeers, wide.TotalPeers)
+	}
+	for _, asn := range serial.Order {
+		a, b := serial.AS(asn), wide.AS(asn)
+		if a.Class != b.Class || a.Region != b.Region {
+			t.Fatalf("AS %d classification differs: %v/%v vs %v/%v",
+				asn, a.Class, a.Region, b.Class, b.Region)
+		}
+		if math.Float64bits(a.P90GeoErrKm) != math.Float64bits(b.P90GeoErrKm) {
+			t.Fatalf("AS %d p90 differs bitwise: %v vs %v", asn, a.P90GeoErrKm, b.P90GeoErrKm)
+		}
+		if len(a.Samples) != len(b.Samples) {
+			t.Fatalf("AS %d sample counts differ: %d vs %d", asn, len(a.Samples), len(b.Samples))
+		}
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				t.Fatalf("AS %d sample %d differs: %+v vs %+v", asn, i, a.Samples[i], b.Samples[i])
+			}
+		}
+		if len(a.PeersByApp) != len(b.PeersByApp) {
+			t.Fatalf("AS %d app maps differ", asn)
+		}
+		for app, n := range a.PeersByApp {
+			if b.PeersByApp[app] != n {
+				t.Fatalf("AS %d app %v count differs: %d vs %d", asn, app, n, b.PeersByApp[app])
+			}
+		}
+	}
+}
 
 // TestRunDeterministicAcrossWorkers is the pipeline's half of the
 // determinism guarantee: a full Run with Workers=1 and Workers=8 must
@@ -27,51 +78,52 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 	serial := run(1)
 	wide := run(8)
+	assertDatasetsIdentical(t, serial, wide)
+}
 
-	// Golden comparison: Dataset.Order.
-	if len(serial.Order) != len(wide.Order) {
-		t.Fatalf("AS counts differ: %d vs %d", len(serial.Order), len(wide.Order))
-	}
-	for i := range serial.Order {
-		if serial.Order[i] != wide.Order[i] {
-			t.Fatalf("Order[%d] differs: %d vs %d", i, serial.Order[i], wide.Order[i])
+// trieOrigins adapts an OriginTable to its uncompiled reference path, so
+// Build can be run against the mutable radix trie.
+type trieOrigins struct{ ot *bgp.OriginTable }
+
+func (r trieOrigins) OriginOf(a ipnet.Addr) (astopo.ASN, bool) {
+	return r.ot.OriginOfUncompiled(a)
+}
+
+// TestBuildCompiledMatchesTriePath is the compiled-LPM half of the
+// determinism guarantee: running the full Build stage with origin
+// lookups served by the compiled flat table must produce a dataset
+// bit-identical to one served by the mutable radix trie — the compilation
+// wiring changes performance only, never output.
+func TestBuildCompiledMatchesTriePath(t *testing.T) {
+	w, _, crawl := setup(t)
+
+	// Reconstruct Run's origin table for the shared fixture's world.
+	routing := bgp.ComputeRouting(w)
+	var ribs []*bgp.RIB
+	for _, a := range w.ASes() {
+		if a.Kind != astopo.KindTier1 {
+			continue
+		}
+		rib, err := bgp.BuildRIB(w, routing, a.ASN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ribs = append(ribs, rib); len(ribs) == 3 {
+			break
 		}
 	}
-	// Golden comparison: drop counters and totals.
-	if serial.Drops != wide.Drops {
-		t.Fatalf("drop counters differ: %+v vs %+v", serial.Drops, wide.Drops)
+	origins := bgp.NewOriginTable(ribs...)
+	dbA, dbB := geodb.NewGeoCity(w), geodb.NewIPLoc(w)
+
+	compiled, err := Build(crawl, dbA, dbB, origins, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if serial.TotalPeers != wide.TotalPeers {
-		t.Fatalf("TotalPeers differs: %d vs %d", serial.TotalPeers, wide.TotalPeers)
+	trie, err := Build(crawl, dbA, dbB, trieOrigins{origins}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Per-record deep equality, float fields compared bitwise.
-	for _, asn := range serial.Order {
-		a, b := serial.AS(asn), wide.AS(asn)
-		if a.Class != b.Class || a.Region != b.Region {
-			t.Fatalf("AS %d classification differs: %v/%v vs %v/%v",
-				asn, a.Class, a.Region, b.Class, b.Region)
-		}
-		if math.Float64bits(a.P90GeoErrKm) != math.Float64bits(b.P90GeoErrKm) {
-			t.Fatalf("AS %d p90 differs bitwise: %v vs %v", asn, a.P90GeoErrKm, b.P90GeoErrKm)
-		}
-		if len(a.Samples) != len(b.Samples) {
-			t.Fatalf("AS %d sample counts differ: %d vs %d", asn, len(a.Samples), len(b.Samples))
-		}
-		for i := range a.Samples {
-			sa, sb := a.Samples[i], b.Samples[i]
-			if sa != sb {
-				t.Fatalf("AS %d sample %d differs: %+v vs %+v", asn, i, sa, sb)
-			}
-		}
-		if len(a.PeersByApp) != len(b.PeersByApp) {
-			t.Fatalf("AS %d app maps differ", asn)
-		}
-		for app, n := range a.PeersByApp {
-			if b.PeersByApp[app] != n {
-				t.Fatalf("AS %d app %v count differs: %d vs %d", asn, app, n, b.PeersByApp[app])
-			}
-		}
-	}
+	assertDatasetsIdentical(t, compiled, trie)
 }
 
 // TestFootprintGridDeterministicAcrossWorkers closes the loop end-to-end:

@@ -141,7 +141,11 @@ const (
 // Geolocation and origin lookups are pure per-peer functions, so they run
 // on all CPUs; aggregation preserves crawl order, keeping the result
 // byte-identical to a sequential run.
-func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins *bgp.OriginTable, cfg Config) (*Dataset, error) {
+//
+// origins is any bgp.Resolver; Run passes a *bgp.OriginTable, whose
+// lookups are served from the compiled flat LPM form. The interface keeps
+// the trie reference path substitutable for differential testing.
+func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -192,7 +196,7 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins *bgp.OriginTable, cfg C
 
 // locateOne runs the pure per-peer stage: dual geolocation, error
 // estimation, the 100 km cut, and origin-AS lookup.
-func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins *bgp.OriginTable, cfg Config) located {
+func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) located {
 	recA := dbA.Locate(peer.IP, peer.TrueLoc)
 	recB := dbB.Locate(peer.IP, peer.TrueLoc)
 	geoErr, ok := geodb.CrossError(recA, recB)

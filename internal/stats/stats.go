@@ -26,24 +26,26 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
-	var sum, sumSq float64
-	for _, x := range xs {
-		sum += x
-		sumSq += x * x
+	// Welford's one-pass algorithm. The textbook E[x²]−mean² form
+	// catastrophically cancels for samples with a large common offset
+	// (e.g. geo-error values near 1e8): both terms are ~mean² and the
+	// variance lives entirely in their last few bits. Welford's update
+	// keeps every intermediate on the scale of the deviations, and its
+	// m2 accumulator is non-negative by construction.
+	var mean, m2 float64
+	for i, x := range xs {
 		if x < s.Min {
 			s.Min = x
 		}
 		if x > s.Max {
 			s.Max = x
 		}
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
 	}
-	n := float64(len(xs))
-	s.Mean = sum / n
-	variance := sumSq/n - s.Mean*s.Mean
-	if variance < 0 {
-		variance = 0
-	}
-	s.Stddev = math.Sqrt(variance)
+	s.Mean = mean
+	s.Stddev = math.Sqrt(m2 / float64(len(xs)))
 	s.Median = Percentile(xs, 50)
 	return s
 }

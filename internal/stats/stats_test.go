@@ -20,6 +20,52 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeOffset pins the Welford fix: for a sample with a huge
+// common offset the old E[x²]−mean² formula cancels catastrophically
+// (x² ≈ 1e16 has ULP 2, on the order of the true variance itself) and
+// returns garbage — often exactly 0 after clamping.
+func TestSummarizeLargeOffset(t *testing.T) {
+	const offset = 1e8
+	xs := []float64{offset, offset + 1, offset + 2}
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {0,1,2}
+
+	s := Summarize(xs)
+	if math.Abs(s.Stddev-want) > 1e-9 {
+		t.Errorf("Stddev = %.17g, want %.17g", s.Stddev, want)
+	}
+	if s.Mean != offset+1 {
+		t.Errorf("Mean = %.17g, want %v", s.Mean, offset+1)
+	}
+
+	// Demonstrate that the naive formula genuinely fails here, so this
+	// test would have caught the bug.
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / 3
+	naive := sumSq/3 - mean*mean
+	if naive < 0 {
+		naive = 0
+	}
+	if math.Abs(math.Sqrt(naive)-want) <= 1e-9 {
+		t.Fatal("naive variance unexpectedly accurate; test sample no longer exercises the cancellation")
+	}
+}
+
+// TestSummarizeConstantSample: zero variance must come out exactly zero
+// (Welford's m2 is non-negative by construction, no clamp needed).
+func TestSummarizeConstantSample(t *testing.T) {
+	s := Summarize([]float64{4e9, 4e9, 4e9, 4e9})
+	if s.Stddev != 0 {
+		t.Errorf("Stddev = %v, want 0", s.Stddev)
+	}
+	if s.Mean != 4e9 || s.Min != 4e9 || s.Max != 4e9 {
+		t.Errorf("bad summary: %+v", s)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{10, 20, 30, 40}
 	cases := []struct{ p, want float64 }{

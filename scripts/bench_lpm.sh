@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench_lpm.sh — measure the compiled LPM engine against the mutable
+# radix trie and emit BENCH_pr2.json: lookup ns/op before (trie) and
+# after (compiled) on dense/sparse RIB-scale address mixes, plus table
+# build and compile times. Run single-core so the numbers isolate the
+# scalar hot path (the parallel pool is PR 1's story).
+#
+# Usage: scripts/bench_lpm.sh [output.json]
+#   BENCHTIME=0.2s scripts/bench_lpm.sh     # quicker CI smoke
+set -eu
+out="${1:-BENCH_pr2.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'TableLookupDense|TableLookupSparse|CompiledLookupDense|CompiledLookupSparse|CompileRIBScale|TableBuildRIBScale' \
+  -benchtime "$benchtime" ./internal/ipnet/ | tee "$tmp"
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'OriginOfCompiled|OriginOfTrie' \
+  -benchtime "$benchtime" ./internal/bgp/ | tee -a "$tmp"
+
+awk '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    vals[name] = $3; order[n++] = name
+  }
+  END {
+    if (n == 0) { print "no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"pr\": 2,\n"
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"gomaxprocs\": 1,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": %s%s\n", order[i], vals[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    printf "  \"speedup_compiled_over_trie\": {\n"
+    printf "    \"lookup_dense\": %.2f,\n",  vals["BenchmarkTableLookupDense"]  / vals["BenchmarkCompiledLookupDense"]
+    printf "    \"lookup_sparse\": %.2f,\n", vals["BenchmarkTableLookupSparse"] / vals["BenchmarkCompiledLookupSparse"]
+    printf "    \"origin_of\": %.2f\n",      vals["BenchmarkOriginOfTrie"]      / vals["BenchmarkOriginOfCompiled"]
+    printf "  }\n"
+    printf "}\n"
+  }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
