@@ -5,6 +5,7 @@
 // Usage:
 //
 //	eyeballexp [-seed N] [-small] [-out dir] [-exp all|table1|figure1|figure2|section5|dimes|casestudy]
+//	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 package main
 
 import (
@@ -16,17 +17,19 @@ import (
 	"path/filepath"
 
 	"eyeballas"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballexp: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballexp", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -35,7 +38,16 @@ func run(args []string, stdout io.Writer) error {
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save")
 	outDir := fs.String("out", "", "directory to write per-experiment artifacts into")
 	expSel := fs.String("exp", "all", "experiment to run: all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict")
+	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obsFlags.Registry()
+	if reg != nil {
+		parallel.SetMetrics(parallel.MetricsFrom(reg))
+		defer parallel.SetMetrics(nil)
+	}
+	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
 
@@ -54,13 +66,15 @@ func run(args []string, stdout io.Writer) error {
 		if err2 != nil {
 			return err2
 		}
-		env, err = eyeball.NewExperimentsWithWorld(w, *seed, eyeball.DefaultPipelineConfig())
+		cfg := eyeball.DefaultPipelineConfig()
+		cfg.Obs = reg
+		env, err = eyeball.NewExperimentsWithWorld(w, *seed, cfg)
 	case *paper:
-		env, err = eyeball.NewPaperScaleExperiments(*seed)
+		env, err = eyeball.NewPaperScaleExperimentsObs(*seed, reg)
 	case *small:
-		env, err = eyeball.NewSmallExperiments(*seed)
+		env, err = eyeball.NewSmallExperimentsObs(*seed, reg)
 	default:
-		env, err = eyeball.NewExperiments(*seed)
+		env, err = eyeball.NewExperimentsObs(*seed, reg)
 	}
 	if err != nil {
 		return err
@@ -217,5 +231,5 @@ func run(args []string, stdout io.Writer) error {
 	if *outDir != "" {
 		fmt.Fprintf(stdout, "artifacts written to %s\n", *outDir)
 	}
-	return nil
+	return obsFlags.Finish(stdout, stderr)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-exp", "table1"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-exp", "table1"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -25,7 +26,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunAllWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-out", dir}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -45,7 +46,7 @@ func TestRunAllWritesArtifacts(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-exp", "nonsense"}, &out); err == nil {
+	if err := run([]string{"-small", "-seed", "5", "-exp", "nonsense"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

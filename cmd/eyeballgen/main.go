@@ -5,6 +5,7 @@
 // Usage:
 //
 //	eyeballgen [-seed N] [-small] [-rib out.rib] [-list]
+//	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 package main
 
 import (
@@ -16,17 +17,19 @@ import (
 	"text/tabwriter"
 
 	"eyeballas"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballgen: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballgen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world generation seed")
@@ -35,7 +38,16 @@ func run(args []string, stdout io.Writer) error {
 	jsonPath := fs.String("json", "", "write the full ground-truth world as JSON to this file")
 	savePath := fs.String("save", "", "write a reloadable world snapshot to this file")
 	list := fs.Bool("list", false, "list every AS")
+	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obsFlags.Registry()
+	if reg != nil {
+		parallel.SetMetrics(parallel.MetricsFrom(reg))
+		defer parallel.SetMetrics(nil)
+	}
+	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
 
@@ -43,13 +55,21 @@ func run(args []string, stdout io.Writer) error {
 		w   *eyeball.World
 		err error
 	)
+	genSpan := reg.StartSpan("eyeballgen.generate")
 	if *small {
 		w, err = eyeball.GenerateSmallWorld(*seed)
 	} else {
 		w, err = eyeball.GenerateWorld(*seed)
 	}
+	genSpan.End()
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		s := w.Stats()
+		reg.Gauge("eyeball_world_ases").Set(float64(s.ASes))
+		reg.Gauge("eyeball_world_ixps").Set(float64(s.IXPs))
+		reg.Gauge("eyeball_world_peerings").Set(float64(s.Peerings))
 	}
 
 	s := w.Stats()
@@ -123,5 +143,5 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "  wrote world snapshot to %s\n", *savePath)
 	}
-	return nil
+	return obsFlags.Finish(stdout, stderr)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSummary(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -23,7 +24,7 @@ func TestRunSummary(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-list"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -39,7 +40,7 @@ func TestRunRIBDump(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "dump.rib")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-rib", path}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-rib", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -56,7 +57,7 @@ func TestRunRIBDump(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, &out, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -66,7 +67,7 @@ func TestRunJSONAndSnapshot(t *testing.T) {
 	jsonPath := filepath.Join(dir, "world.json")
 	snapPath := filepath.Join(dir, "world.snap")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-json", jsonPath, "-save", snapPath}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-json", jsonPath, "-save", snapPath}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	j, err := os.ReadFile(jsonPath)

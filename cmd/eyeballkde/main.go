@@ -6,6 +6,7 @@
 // Usage:
 //
 //	eyeballkde [-seed N] [-small] [-asn N] [-bw 20,40,60] [-multiscale]
+//	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 //
 // Without -asn, the Figure 1 subject (the largest country-level AS) is
 // analyzed.
@@ -22,17 +23,19 @@ import (
 	"strings"
 
 	"eyeballas"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballkde: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballkde", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -42,7 +45,16 @@ func run(args []string, stdout io.Writer) error {
 	multiscale := fs.Bool("multiscale", false, "also run the multi-scale PoP refinement")
 	surface := fs.String("surface", "", "write the density surface(s) as gnuplot-ready lon/lat/density rows to this file (one block per bandwidth)")
 	workers := fs.Int("workers", 0, "worker goroutines for the KDE convolution and fan-outs (0 = all CPUs, 1 = serial; output is identical either way)")
+	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obsFlags.Registry()
+	if reg != nil {
+		parallel.SetMetrics(parallel.MetricsFrom(reg))
+		defer parallel.SetMetrics(nil)
+	}
+	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
 
@@ -53,9 +65,9 @@ func run(args []string, stdout io.Writer) error {
 
 	var env *eyeball.Experiments
 	if *small {
-		env, err = eyeball.NewSmallExperiments(*seed)
+		env, err = eyeball.NewSmallExperimentsObs(*seed, reg)
 	} else {
-		env, err = eyeball.NewExperiments(*seed)
+		env, err = eyeball.NewExperimentsObs(*seed, reg)
 	}
 	if err != nil {
 		return err
@@ -78,7 +90,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "AS %d (%s): %d usable peers, classified %s-level (%s)\n",
 			rec.ASN, a.Name, len(rec.Samples), rec.Class.Level, rec.Class.Place)
 		for _, bw := range bandwidths {
-			fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: *workers})
+			fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: *workers, Obs: reg})
 			if err != nil {
 				return err
 			}
@@ -88,24 +100,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *multiscale {
-		if err := renderMultiScale(stdout, env, subject, *workers); err != nil {
+		if err := renderMultiScale(stdout, env, subject, *workers, reg); err != nil {
 			return err
 		}
 	}
 	if *surface != "" {
-		if err := writeSurface(*surface, env, subject, bandwidths, *workers); err != nil {
+		if err := writeSurface(*surface, env, subject, bandwidths, *workers, reg); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote density surface(s) to %s\n", *surface)
 	}
-	return nil
+	return obsFlags.Finish(stdout, stderr)
 }
 
 // writeSurface dumps each bandwidth's density grid as whitespace-separated
 // "lon lat density" rows, with a blank line between grid rows and a
 // double blank line between bandwidth blocks — the format gnuplot's
 // `splot ... with pm3d` consumes, recreating the paper's 3-D Figure 1.
-func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64, workers int) error {
+func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64, workers int, reg *eyeball.Registry) error {
 	rec := env.Dataset.AS(asn)
 	if rec == nil {
 		return fmt.Errorf("AS %d is not in the target dataset", asn)
@@ -117,7 +129,7 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	defer f.Close()
 	w := bufio.NewWriter(f)
 	for _, bw := range bandwidths {
-		fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: workers})
+		fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: workers, Obs: reg})
 		if err != nil {
 			return err
 		}
@@ -135,10 +147,10 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	return w.Flush()
 }
 
-func renderMultiScale(stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN, workers int) error {
+func renderMultiScale(stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN, workers int, reg *eyeball.Registry) error {
 	rec := env.Dataset.AS(asn)
 	ms, err := eyeball.MultiScaleFootprint(env.World, rec.Samples, eyeball.MultiScaleOptions{
-		Base: eyeball.FootprintOptions{Workers: workers},
+		Base: eyeball.FootprintOptions{Workers: workers, Obs: reg},
 	})
 	if err != nil {
 		return err

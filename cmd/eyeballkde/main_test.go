@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunDefaultSubject(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -25,7 +26,7 @@ func TestRunExplicitASN(t *testing.T) {
 	// Find the planted case-study subject's ASN via a first run, then
 	// analyze it explicitly.
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-asn", "330", "-bw", "40", "-multiscale"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-asn", "330", "-bw", "40", "-multiscale"}, &out, io.Discard); err != nil {
 		// ASN numbering is generator-dependent; skip rather than fail if
 		// 330 isn't eligible at this seed.
 		if strings.Contains(err.Error(), "not in the target dataset") {
@@ -41,7 +42,7 @@ func TestRunExplicitASN(t *testing.T) {
 
 func TestRunUnknownASN(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-asn", "999999"}, &out); err == nil {
+	if err := run([]string{"-small", "-seed", "5", "-asn", "999999"}, &out, io.Discard); err == nil {
 		t.Error("unknown ASN accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestRunSurfaceExport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "surface.dat")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-bw", "40", "-surface", path}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-bw", "40", "-surface", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

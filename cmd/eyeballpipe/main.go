@@ -6,6 +6,7 @@
 // Usage:
 //
 //	eyeballpipe [-seed N] [-small] [-minpeers N] [-dump dataset.csv]
+//	            [-quiet] [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 package main
 
 import (
@@ -16,17 +17,19 @@ import (
 	"os"
 
 	"eyeballas"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballpipe: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballpipe", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -35,7 +38,17 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines for the pipeline's parallel stages (0 = all CPUs, 1 = serial; output is identical either way)")
 	dump := fs.String("dump", "", "write the per-AS target dataset as CSV to this file")
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save instead of generating")
+	quiet := fs.Bool("quiet", false, "suppress the one-line funnel summary on stderr")
+	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obsFlags.Registry() // nil unless an observability flag was given
+	if reg != nil {
+		parallel.SetMetrics(parallel.MetricsFrom(reg))
+		defer parallel.SetMetrics(nil)
+	}
+	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
 
@@ -65,9 +78,15 @@ func run(args []string, stdout io.Writer) error {
 		cfg.MinPeers = *minPeers
 	}
 	cfg.Workers = *workers
+	cfg.Obs = reg
 	ds, err := eyeball.BuildTargetDatasetWithConfig(w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	if err != nil {
 		return err
+	}
+	if !*quiet {
+		// The funnel is always built; the summary is the paper's 89.1M →
+		// 48M conditioning story in one line.
+		fmt.Fprintf(stderr, "funnel: %s\n", ds.Funnel.Summary())
 	}
 
 	fmt.Fprintf(stdout, "target dataset: %d eligible eyeball ASes, %d usable peers\n",
@@ -94,5 +113,5 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\nwrote per-AS dataset to %s\n", *dump)
 	}
-	return nil
+	return obsFlags.Finish(stdout, stderr)
 }

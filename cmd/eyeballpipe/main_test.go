@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ import (
 
 func TestRunPipeline(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5"}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -26,10 +27,10 @@ func TestRunPipeline(t *testing.T) {
 
 func TestRunMinPeersOverride(t *testing.T) {
 	var loose, strict bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-minpeers", "50"}, &loose); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-minpeers", "50"}, &loose, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-small", "-seed", "5", "-minpeers", "2000"}, &strict); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-minpeers", "2000"}, &strict, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(strict.String(), "below 2000 peers") {
@@ -59,7 +60,7 @@ func TestRunDump(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ds.csv")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-dump", path}, &out); err != nil {
+	if err := run([]string{"-small", "-seed", "5", "-dump", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -93,10 +94,10 @@ func TestRunFromSnapshot(t *testing.T) {
 	f.Close()
 
 	var fromSnap, direct bytes.Buffer
-	if err := run([]string{"-world", snap, "-seed", "5"}, &fromSnap); err != nil {
+	if err := run([]string{"-world", snap, "-seed", "5"}, &fromSnap, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-small", "-seed", "5"}, &direct); err != nil {
+	if err := run([]string{"-small", "-seed", "5"}, &direct, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if fromSnap.String() != direct.String() {

@@ -67,10 +67,29 @@ func NewSmallExperiments(seed uint64) (*Experiments, error) {
 	return experiments.NewEnv(seed, experiments.ScaleSmall)
 }
 
+// NewExperimentsObs is NewExperiments with an observability registry
+// threaded through every stage (crawl metrics, pipeline funnel, BGP and
+// KDE instrumentation, per-dataset build spans). A nil registry is the
+// disabled state; the environment is identical either way.
+func NewExperimentsObs(seed uint64, reg *Registry) (*Experiments, error) {
+	return experiments.NewEnvObs(seed, experiments.ScaleDefault, reg)
+}
+
+// NewSmallExperimentsObs is NewExperimentsObs at test scale.
+func NewSmallExperimentsObs(seed uint64, reg *Registry) (*Experiments, error) {
+	return experiments.NewEnvObs(seed, experiments.ScaleSmall, reg)
+}
+
 // NewPaperScaleExperiments is NewExperiments at the paper's population
 // (1233 eyeball ASes, the literal 1000-peer floor); runs take minutes.
 func NewPaperScaleExperiments(seed uint64) (*Experiments, error) {
 	return experiments.NewPaperScaleEnv(seed)
+}
+
+// NewPaperScaleExperimentsObs is NewPaperScaleExperiments with an
+// observability registry.
+func NewPaperScaleExperimentsObs(seed uint64, reg *Registry) (*Experiments, error) {
+	return experiments.NewPaperScaleEnvObs(seed, reg)
 }
 
 // NewExperimentsWithWorld builds the environment over an existing world

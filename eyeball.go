@@ -33,6 +33,7 @@ import (
 	"eyeballas/internal/experiments"
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/pipeline"
 )
@@ -75,6 +76,15 @@ type (
 	PipelineConfig = pipeline.Config
 	// CrawlConfig controls the P2P crawl simulation.
 	CrawlConfig = p2p.Config
+
+	// Registry collects the metrics, spans, and funnels of one run;
+	// assign one to PipelineConfig.Obs / CrawlConfig.Obs /
+	// FootprintOptions.Obs to enable instrumentation. A nil Registry is
+	// the disabled state: outputs are bit-identical either way.
+	Registry = obs.Registry
+	// FunnelReport is the stage-by-stage in/out/drop accounting of a
+	// pipeline build (Dataset.Funnel).
+	FunnelReport = obs.Funnel
 
 	// Experiments bundles everything needed to regenerate the paper's
 	// tables and figures; see the experiment runner functions below.
@@ -160,6 +170,12 @@ func SmallWorldConfig(seed uint64) WorldConfig { return astopo.SmallConfig(seed)
 
 // DefaultCrawlConfig returns the Table 1-shaped crawl penetration model.
 func DefaultCrawlConfig() CrawlConfig { return p2p.DefaultConfig() }
+
+// NewRegistry returns an empty, enabled observability registry. It can
+// snapshot to Prometheus text exposition (WritePrometheus), deterministic
+// JSON (WriteJSON), or an HTTP handler (HTTPHandler) serving both plus
+// net/http/pprof.
+func NewRegistry() *Registry { return obs.New() }
 
 // DefaultPipelineConfig returns the conditioning thresholds at synthetic
 // scale.

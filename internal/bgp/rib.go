@@ -7,9 +7,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/ipnet"
+	"eyeballas/internal/obs"
 )
 
 // Entry is one RIB row: a prefix and the AS path from the vantage point to
@@ -27,6 +29,18 @@ func (e Entry) Origin() astopo.ASN { return e.Path[len(e.Path)-1] }
 // *OriginTable implement it.
 type Resolver interface {
 	OriginOf(a ipnet.Addr) (astopo.ASN, bool)
+}
+
+// CheckedResolver is an optional extension of Resolver for origin
+// sources whose lookups can fail (a remote table service, an mmap'd
+// dump that can go away mid-run). The pipeline's per-peer stage detects
+// it with a type assertion and propagates the error out of its worker
+// pool; plain Resolvers keep the infallible fast path.
+type CheckedResolver interface {
+	Resolver
+	// OriginOfChecked is OriginOf with an error channel; err != nil
+	// aborts the whole build.
+	OriginOfChecked(a ipnet.Addr) (astopo.ASN, bool, error)
 }
 
 // RIB is a routing table as observed from one vantage AS — the synthetic
@@ -49,9 +63,18 @@ type RIB struct {
 // vantage cannot reach (none exist in generated worlds, but defensively)
 // are omitted.
 func BuildRIB(w *astopo.World, r *Routing, vantage astopo.ASN) (*RIB, error) {
+	return BuildRIBObs(w, r, vantage, nil)
+}
+
+// BuildRIBObs is BuildRIB with instrumentation: a per-vantage build
+// span, the compile-time histogram, and entry/segment gauges. A nil
+// registry disables all of it (BuildRIB delegates here with nil).
+func BuildRIBObs(w *astopo.World, r *Routing, vantage astopo.ASN, reg *obs.Registry) (*RIB, error) {
 	if w.AS(vantage) == nil {
 		return nil, fmt.Errorf("bgp: unknown vantage AS %d", vantage)
 	}
+	span := reg.StartSpan("bgp.build_rib " + strconv.Itoa(int(vantage)))
+	defer span.End()
 	rib := &RIB{Vantage: vantage, table: ipnet.NewTable[astopo.ASN]()}
 	for _, dst := range r.ASNs() {
 		path := r.Path(vantage, dst)
@@ -69,8 +92,29 @@ func BuildRIB(w *astopo.World, r *Routing, vantage astopo.ASN) (*RIB, error) {
 		}
 		return rib.Entries[i].Prefix.Bits < rib.Entries[j].Prefix.Bits
 	})
-	rib.compiled = rib.table.Compile()
+	rib.compiled = compileObs(reg, rib.table)
+	if reg != nil {
+		vantageLabel := strconv.Itoa(int(vantage))
+		reg.Gauge("eyeball_bgp_rib_entries", "vantage", vantageLabel).Set(float64(len(rib.Entries)))
+		reg.Gauge("eyeball_bgp_rib_segments", "vantage", vantageLabel).Set(float64(rib.compiled.Segments()))
+	}
 	return rib, nil
+}
+
+// compileObs freezes a trie into its compiled flat form, recording the
+// compile wall-clock and counting compilations when a registry is live.
+// The compile is a one-off per table — its cost is measured here so
+// BENCH/metrics can attribute it, while the per-lookup hot path stays
+// untouched (see the package comment on OriginTable).
+func compileObs(reg *obs.Registry, t *ipnet.Table[astopo.ASN]) *ipnet.Compiled[astopo.ASN] {
+	if reg == nil {
+		return t.Compile()
+	}
+	start := time.Now()
+	c := t.Compile()
+	reg.Histogram("eyeball_bgp_compile_seconds", obs.LatencyBuckets()).Observe(time.Since(start).Seconds())
+	reg.Counter("eyeball_bgp_compiles_total").Inc()
+	return c
 }
 
 // OriginOf maps an address to its origin AS by longest-prefix match,
@@ -208,6 +252,23 @@ type OriginTable struct {
 
 // NewOriginTable merges RIBs and compiles the merged table.
 func NewOriginTable(ribs ...*RIB) *OriginTable {
+	return NewOriginTableObs(nil, ribs...)
+}
+
+// NewOriginTableObs is NewOriginTable with instrumentation: merge span,
+// compile-time histogram, and prefix/segment gauges.
+//
+// Lookup accounting is deliberately NOT done inside OriginOf: the
+// compiled lookup runs in ~6 ns and even one uncontended atomic
+// increment would roughly double it. Instead, callers count lookups at
+// their aggregation points (the pipeline flushes block-local deltas
+// into eyeball_bgp_origin_lookups_total — shard-aggregated counting
+// where each work block is a shard), so the instrumented hot loop is
+// instruction-identical to the bare one. scripts/bench_obs.sh proves
+// the overhead budget.
+func NewOriginTableObs(reg *obs.Registry, ribs ...*RIB) *OriginTable {
+	span := reg.StartSpan("bgp.origin_table")
+	defer span.End()
 	ot := &OriginTable{table: ipnet.NewTable[astopo.ASN]()}
 	for _, rib := range ribs {
 		for _, e := range rib.Entries {
@@ -217,8 +278,21 @@ func NewOriginTable(ribs ...*RIB) *OriginTable {
 			}
 		}
 	}
-	ot.compiled = ot.table.Compile()
+	ot.compiled = compileObs(reg, ot.table)
+	if reg != nil {
+		reg.Gauge("eyeball_bgp_origin_prefixes").Set(float64(ot.size))
+		reg.Gauge("eyeball_bgp_origin_segments").Set(float64(ot.compiled.Segments()))
+	}
 	return ot
+}
+
+// Segments exposes the compiled table's flat segment count (a capacity
+// diagnostic; see ipnet.Compiled.Segments).
+func (ot *OriginTable) Segments() int {
+	if ot.compiled == nil {
+		return 0
+	}
+	return ot.compiled.Segments()
 }
 
 // OriginOf maps an address to its origin AS via the compiled table.

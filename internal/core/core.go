@@ -19,6 +19,7 @@ import (
 	"eyeballas/internal/geo"
 	"eyeballas/internal/grid"
 	"eyeballas/internal/kde"
+	"eyeballas/internal/obs"
 )
 
 // Sample is one usable peer observation: the reference database's answer
@@ -50,6 +51,10 @@ type Options struct {
 	// GOMAXPROCS, 1 forces serial execution. Footprints are
 	// byte-identical for every setting.
 	Workers int
+	// Obs receives footprint metrics (peak/PoP counters) and is passed
+	// through to the KDE layer; nil disables instrumentation. Footprints
+	// are bit-identical either way.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +127,7 @@ func EstimateFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts Options)
 		BandwidthKm: o.BandwidthKm,
 		CellKm:      o.CellKm,
 		Workers:     o.Workers,
+		Obs:         o.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -170,6 +176,11 @@ func EstimateFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts Options)
 	}
 	for _, key := range order {
 		fp.PoPs = append(fp.PoPs, *byCity[key])
+	}
+	if o.Obs != nil {
+		o.Obs.Counter("eyeball_core_peaks_total").Add(int64(len(fp.Peaks)))
+		o.Obs.Counter("eyeball_core_pops_total").Add(int64(len(fp.PoPs)))
+		o.Obs.Counter("eyeball_core_unmapped_peaks_total").Add(int64(fp.NoCityPeaks))
 	}
 	sort.SliceStable(fp.PoPs, func(i, j int) bool {
 		if fp.PoPs[i].Density != fp.PoPs[j].Density {

@@ -11,6 +11,7 @@ import (
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/bgp"
 	"eyeballas/internal/ixp"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/pipeline"
 	"eyeballas/internal/refdata"
@@ -45,6 +46,14 @@ type Env struct {
 
 // NewEnv generates the full experimental environment.
 func NewEnv(seed uint64, scale Scale) (*Env, error) {
+	return NewEnvObs(seed, scale, nil)
+}
+
+// NewEnvObs is NewEnv with an observability registry threaded through
+// every stage (world generation span, crawl/pipeline metrics and funnel,
+// per-dataset build spans). A nil registry is the disabled state and
+// changes nothing about the generated environment.
+func NewEnvObs(seed uint64, scale Scale, reg *obs.Registry) (*Env, error) {
 	var cfg astopo.Config
 	var pipeCfg pipeline.Config
 	switch scale {
@@ -58,7 +67,10 @@ func NewEnv(seed uint64, scale Scale) (*Env, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown scale %d", scale)
 	}
+	pipeCfg.Obs = reg
+	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(cfg)
+	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -69,31 +81,52 @@ func NewEnv(seed uint64, scale Scale) (*Env, error) {
 // (1233 eyeball ASes, the literal 1000-peer floor). A full run takes a
 // few minutes and several GB.
 func NewPaperScaleEnv(seed uint64) (*Env, error) {
+	return NewPaperScaleEnvObs(seed, nil)
+}
+
+// NewPaperScaleEnvObs is NewPaperScaleEnv with an observability
+// registry.
+func NewPaperScaleEnvObs(seed uint64, reg *obs.Registry) (*Env, error) {
+	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(astopo.PaperConfig(seed))
+	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	return NewEnvWithWorld(w, seed, pipeline.PaperConfig())
+	pipeCfg := pipeline.PaperConfig()
+	pipeCfg.Obs = reg
+	return NewEnvWithWorld(w, seed, pipeCfg)
 }
 
 // NewEnvWithWorld builds the measurement environment over an existing
 // world — typically one loaded from a snapshot — with explicit
 // conditioning thresholds.
 func NewEnvWithWorld(w *astopo.World, seed uint64, pipeCfg pipeline.Config) (*Env, error) {
+	reg := pipeCfg.Obs
+	span := reg.StartSpan("experiments.env")
+	defer span.End()
 	env := &Env{Seed: seed, World: w}
+	routingSpan := span.Child("routing")
 	env.Routing = bgp.ComputeRouting(w)
+	routingSpan.End()
 	var err error
 	env.Dataset, env.Crawl, err = pipeline.Run(w, p2p.DefaultConfig(), pipeCfg, seed)
 	if err != nil {
 		return nil, err
 	}
 	root := rng.New(seed)
+	refSpan := span.Child("refdata")
 	env.Reference = refdata.Build(w, refdata.DefaultConfig(), root.Split("refdata"))
+	refSpan.End()
 	// The paper consults the IXP mapping dataset as best-effort ground
 	// truth (§6); use full detection here. Partial detection is modelled
 	// and exercised in the ixp package itself.
+	ixpSpan := span.Child("ixpdata")
 	env.IXPData = ixp.Build(w, 1.0, root.Split("ixpdata"))
+	ixpSpan.End()
+	trSpan := span.Child("traceroute")
 	env.Traces, err = traceroute.Simulate(w, env.Routing, traceroute.DefaultConfig(), root.Split("traceroute"))
+	trSpan.End()
 	if err != nil {
 		return nil, err
 	}

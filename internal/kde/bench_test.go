@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"eyeballas/internal/geo"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/rng"
 )
 
@@ -79,6 +80,21 @@ func BenchmarkEstimateParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEstimateObs runs the same estimate as BenchmarkEstimate/n10000
+// with a live registry attached: the span/counter/histogram hooks fire on
+// every call. The delta against the uninstrumented run is the kde-layer
+// observability overhead (budget: ≤3%).
+func BenchmarkEstimateObs(b *testing.B) {
+	samples := benchSamples(10000)
+	reg := obs.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(samples, Options{BandwidthKm: 40, Obs: reg}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"eyeballas/internal/geo"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/parallel"
 	"eyeballas/internal/rng"
 )
 
@@ -82,5 +84,41 @@ func TestEstimateDeterministicFineGrid(t *testing.T) {
 		if math.Float64bits(g.Data[i]) != math.Float64bits(ref.Data[i]) {
 			t.Fatalf("cell %d differs bitwise with default workers", i)
 		}
+	}
+}
+
+// TestEstimateDeterministicUnderRegistry extends the bit-identity
+// guarantee to an active observability registry (with the pool's timing
+// hooks installed): spans/counters/histograms are timing side channels
+// and must not perturb a single bit of the density surface, at any
+// worker count.
+func TestEstimateDeterministicUnderRegistry(t *testing.T) {
+	samples := determinismSamples(20000, 2000)
+	ref, err := Estimate(samples, Options{BandwidthKm: 40, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			reg := obs.New()
+			parallel.SetMetrics(parallel.MetricsFrom(reg))
+			defer parallel.SetMetrics(nil)
+			g, err := Estimate(samples, Options{BandwidthKm: 40, Workers: workers, Obs: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.W != ref.W || g.H != ref.H {
+				t.Fatalf("geometry differs under registry: %dx%d vs %dx%d", g.W, g.H, ref.W, ref.H)
+			}
+			for i := range ref.Data {
+				if math.Float64bits(g.Data[i]) != math.Float64bits(ref.Data[i]) {
+					t.Fatalf("cell %d differs bitwise with metrics on: %x vs %x",
+						i, math.Float64bits(g.Data[i]), math.Float64bits(ref.Data[i]))
+				}
+			}
+			if reg.Counter("eyeball_kde_estimates_total").Value() != 1 {
+				t.Fatal("estimate counter did not move")
+			}
+		})
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"eyeballas/internal/geo"
 	"eyeballas/internal/grid"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
 )
 
@@ -42,6 +43,11 @@ type Options struct {
 	// fixed row/column blocks whose per-cell arithmetic never depends on
 	// the worker count.
 	Workers int
+	// Obs receives estimation metrics (grid-cell gauge, estimate/sample
+	// counters, latency histogram) and the bin/blur spans; nil disables
+	// instrumentation. The surface is bit-identical either way — only
+	// timing observations vary.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the paper's §3.1 configuration: 40 km bandwidth,
@@ -82,6 +88,8 @@ func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("kde: no samples")
 	}
+	span := o.Obs.StartSpan("kde.estimate")
+	defer span.End()
 	minX, minY := samples[0].X, samples[0].Y
 	maxX, maxY := minX, minY
 	for _, s := range samples[1:] {
@@ -100,8 +108,14 @@ func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
 		return nil, fmt.Errorf("kde: domain needs %d cells (cap %d); increase CellKm", w*h, o.MaxCells)
 	}
 	g := grid.New(minX, minY, o.CellKm, w, h)
+	if o.Obs != nil {
+		o.Obs.Counter("eyeball_kde_estimates_total").Inc()
+		o.Obs.Counter("eyeball_kde_samples_total").Add(int64(len(samples)))
+		o.Obs.Gauge("eyeball_kde_grid_cells").Set(float64(w * h))
+	}
 
 	// Bin samples.
+	binSpan := span.Child("bin")
 	for _, s := range samples {
 		i, j, ok := g.CellOf(s)
 		if !ok {
@@ -112,11 +126,16 @@ func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
 		}
 		g.Add(i, j, 1)
 	}
+	binSpan.End()
 
-	blurSeparable(g, o.BandwidthKm, o.TruncSigma, o.Workers)
+	blurSeparable(g, o.BandwidthKm, o.TruncSigma, o.Workers, span)
 
 	// counts → density: divide by N·cell² so the surface integrates to 1.
 	g.Scale(1 / (float64(len(samples)) * o.CellKm * o.CellKm))
+	span.End()
+	if d, ok := span.Duration(); ok {
+		o.Obs.Histogram("eyeball_kde_estimate_seconds", obs.LatencyBuckets()).Observe(d.Seconds())
+	}
 	return g, nil
 }
 
@@ -137,8 +156,9 @@ func clamp(v, lo, hi int) int {
 // convolved independently into disjoint slices, and the block
 // decomposition is a fixed function of the grid dimensions, so the result
 // is byte-identical for every worker count — including workers == 1,
-// which runs inline with zero synchronization.
-func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int) {
+// which runs inline with zero synchronization. parent (nil when
+// disabled) receives one child span per pass.
+func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int, parent *obs.Span) {
 	radius := int(math.Ceil(truncSigma * bandwidthKm / g.Cell))
 	kernel := make([]float64, 2*radius+1)
 	sum := 0.0
@@ -154,6 +174,7 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int) {
 	tmp := make([]float64, len(g.Data))
 	// Horizontal pass: each row of g.Data convolves into the same row of
 	// tmp; rows in a block are processed in order, blocks never overlap.
+	hSpan := parent.Child("blur_horizontal")
 	_ = parallel.Blocks(workers, g.H, 0, func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
 			row := g.Data[j*g.W : (j+1)*g.W]
@@ -162,9 +183,11 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int) {
 		}
 		return nil
 	})
+	hSpan.End()
 	// Vertical pass: convolve columns of tmp back into g.Data. Each
 	// block owns a contiguous span of columns and its own scratch
 	// buffers; writes target disjoint strided cells.
+	vSpan := parent.Child("blur_vertical")
 	_ = parallel.Blocks(workers, g.W, 0, func(lo, hi int) error {
 		col := make([]float64, g.H)
 		outCol := make([]float64, g.H)
@@ -179,6 +202,7 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int) {
 		}
 		return nil
 	})
+	vSpan.End()
 }
 
 // convolveRow writes the 1-D convolution of src with kernel into dst.

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Funnel formalizes stage-by-stage in/out/drop-reason accounting — the
+// paper's methodology in miniature: 89.1M crawled IPs conditioned down
+// to 48M usable users (§2, Table 1), with every threshold deciding where
+// observations die.
+//
+// A Funnel is standalone: it works without a Registry (the pipeline
+// always builds one so Dataset.Drops and the CLI summary exist even with
+// metrics disabled) and is attached for exposition via
+// Registry.RegisterFunnel. Stage counters are atomics, so concurrent
+// accounting is safe; the pipeline accumulates per-peer deltas locally
+// in its serial aggregation loop and flushes them in one call per
+// reason, keeping the hot path free of per-item atomics.
+//
+// Conservation invariant, checked by Check and the CI jq step: for every
+// stage, in == out + Σ drops; and each stage's in equals the previous
+// stage's out.
+type Funnel struct {
+	name   string
+	mu     sync.Mutex
+	stages []*Stage
+}
+
+// NewFunnel creates a named funnel.
+func NewFunnel(name string) *Funnel { return &Funnel{name: name} }
+
+// Name returns the funnel's name ("" for nil).
+func (f *Funnel) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Stage returns (creating on first use, in declaration order) the named
+// stage. Returns nil on a nil funnel.
+func (f *Funnel) Stage(name string) *Stage {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.stages {
+		if s.name == name {
+			return s
+		}
+	}
+	s := &Stage{name: name, drops: make(map[string]*atomic.Int64)}
+	f.stages = append(f.stages, s)
+	return s
+}
+
+// Stages returns the stages in declaration order.
+func (f *Funnel) Stages() []*Stage {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Stage, len(f.stages))
+	copy(out, f.stages)
+	return out
+}
+
+// Check verifies the conservation invariant: per stage in == out + Σ
+// drops, and chain continuity (stage[i+1].in == stage[i].out). It
+// returns the first violation, or nil.
+func (f *Funnel) Check() error {
+	if f == nil {
+		return nil
+	}
+	stages := f.Stages()
+	for i, s := range stages {
+		in, out, drops := s.InCount(), s.OutCount(), s.TotalDrops()
+		if in != out+drops {
+			return fmt.Errorf("obs: funnel %q stage %q leaks: in=%d out=%d drops=%d (in != out+drops)",
+				f.name, s.name, in, out, drops)
+		}
+		if i > 0 {
+			if prev := stages[i-1].OutCount(); in != prev {
+				return fmt.Errorf("obs: funnel %q stage %q breaks the chain: in=%d but %q out=%d",
+					f.name, s.name, in, stages[i-1].name, prev)
+			}
+		}
+	}
+	return nil
+}
+
+// DropCount is one (stage, reason, count) drop row.
+type DropCount struct {
+	Stage  string
+	Reason string
+	Count  int64
+}
+
+// Drops returns every non-structural drop row in stage/declaration
+// order (including zero counts for pre-declared reasons).
+func (f *Funnel) Drops() []DropCount {
+	var out []DropCount
+	for _, s := range f.Stages() {
+		for _, reason := range s.reasonNames() {
+			out = append(out, DropCount{Stage: s.name, Reason: reason, Count: s.DropCount(reason)})
+		}
+	}
+	return out
+}
+
+// Summary renders the funnel as one line:
+//
+//	12000 in -> 8321 out; drops: high_geo_err 2103, unmapped_ip 940, ...
+//
+// Zero-count reasons are elided.
+func (f *Funnel) Summary() string {
+	stages := f.Stages()
+	if len(stages) == 0 {
+		return "(empty funnel)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d in -> %d out", stages[0].InCount(), stages[len(stages)-1].OutCount())
+	var drops []string
+	for _, d := range f.Drops() {
+		if d.Count > 0 {
+			drops = append(drops, fmt.Sprintf("%s %d", d.Reason, d.Count))
+		}
+	}
+	if len(drops) > 0 {
+		b.WriteString("; drops: ")
+		b.WriteString(strings.Join(drops, ", "))
+	}
+	return b.String()
+}
+
+// Stage is one funnel stage. All methods are nil-safe no-ops.
+type Stage struct {
+	name    string
+	in, out atomic.Int64
+	mu      sync.Mutex
+	reasons []string
+	drops   map[string]*atomic.Int64
+}
+
+// Name returns the stage name ("" for nil).
+func (s *Stage) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// DeclareReasons pre-registers drop reasons so exposition order is fixed
+// even when a run never exercises a reason.
+func (s *Stage) DeclareReasons(reasons ...string) *Stage {
+	if s == nil {
+		return nil
+	}
+	for _, r := range reasons {
+		s.reason(r)
+	}
+	return s
+}
+
+// In adds n observations entering the stage.
+func (s *Stage) In(n int) {
+	if s == nil {
+		return
+	}
+	s.in.Add(int64(n))
+}
+
+// Out adds n observations surviving the stage.
+func (s *Stage) Out(n int) {
+	if s == nil {
+		return
+	}
+	s.out.Add(int64(n))
+}
+
+// Drop adds n observations dropped for the given reason.
+func (s *Stage) Drop(reason string, n int) {
+	if s == nil {
+		return
+	}
+	s.reason(reason).Add(int64(n))
+}
+
+func (s *Stage) reason(name string) *atomic.Int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.drops[name]; ok {
+		return c
+	}
+	c := new(atomic.Int64)
+	s.drops[name] = c
+	s.reasons = append(s.reasons, name)
+	return c
+}
+
+func (s *Stage) reasonNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.reasons))
+	copy(out, s.reasons)
+	return out
+}
+
+// InCount returns the stage's in count.
+func (s *Stage) InCount() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.in.Load()
+}
+
+// OutCount returns the stage's out count.
+func (s *Stage) OutCount() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.out.Load()
+}
+
+// DropCount returns the count for one drop reason.
+func (s *Stage) DropCount(reason string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	c, ok := s.drops[reason]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// TotalDrops sums all drop reasons.
+func (s *Stage) TotalDrops() int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	for _, r := range s.reasonNames() {
+		total += s.DropCount(r)
+	}
+	return total
+}

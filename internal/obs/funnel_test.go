@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func pipelineShapedFunnel() *Funnel {
+	f := NewFunnel("pipeline")
+	geo := f.Stage("geolocate").DeclareReasons("no_city", "high_geo_err")
+	geo.In(1000)
+	geo.Drop("no_city", 50)
+	geo.Drop("high_geo_err", 150)
+	geo.Out(800)
+	origin := f.Stage("origin").DeclareReasons("unmapped_ip")
+	origin.In(800)
+	origin.Drop("unmapped_ip", 80)
+	origin.Out(720)
+	cond := f.Stage("condition").DeclareReasons("small_as")
+	cond.In(720)
+	cond.Drop("small_as", 20)
+	cond.Out(700)
+	return f
+}
+
+func TestFunnelCheckPasses(t *testing.T) {
+	if err := pipelineShapedFunnel().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunnelCheckDetectsLeak(t *testing.T) {
+	f := pipelineShapedFunnel()
+	f.Stage("origin").Drop("unmapped_ip", 1) // in != out + drops now
+	err := f.Check()
+	if err == nil {
+		t.Fatal("leaking stage not detected")
+	}
+	if !strings.Contains(err.Error(), "origin") {
+		t.Fatalf("error does not name the leaking stage: %v", err)
+	}
+}
+
+func TestFunnelCheckDetectsChainBreak(t *testing.T) {
+	f := pipelineShapedFunnel()
+	// A stage whose in does not equal the previous stage's out.
+	s := f.Stage("extra")
+	s.In(9999)
+	s.Out(9999)
+	err := f.Check()
+	if err == nil {
+		t.Fatal("chain break not detected")
+	}
+	if !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFunnelSummary(t *testing.T) {
+	got := pipelineShapedFunnel().Summary()
+	want := "1000 in -> 700 out; drops: no_city 50, high_geo_err 150, unmapped_ip 80, small_as 20"
+	if got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+	// Zero-count reasons are elided.
+	f := NewFunnel("z")
+	s := f.Stage("only").DeclareReasons("never_hit")
+	s.In(5)
+	s.Out(5)
+	if got := f.Summary(); got != "5 in -> 5 out" {
+		t.Fatalf("summary with zero drops = %q", got)
+	}
+	if got := (&Funnel{}).Summary(); got != "(empty funnel)" {
+		t.Fatalf("empty funnel summary = %q", got)
+	}
+}
+
+func TestFunnelDropsOrderIsDeclarationOrder(t *testing.T) {
+	f := pipelineShapedFunnel()
+	drops := f.Drops()
+	wantOrder := []string{"no_city", "high_geo_err", "unmapped_ip", "small_as"}
+	if len(drops) != len(wantOrder) {
+		t.Fatalf("got %d drop rows, want %d", len(drops), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if drops[i].Reason != w {
+			t.Fatalf("drop row %d = %q, want %q", i, drops[i].Reason, w)
+		}
+	}
+}
+
+func TestNilFunnelIsNoOp(t *testing.T) {
+	var f *Funnel
+	s := f.Stage("x")
+	if s != nil {
+		t.Fatal("nil funnel must return nil stages")
+	}
+	s.DeclareReasons("a").In(1)
+	s.Out(1)
+	s.Drop("a", 1)
+	if s.InCount() != 0 || s.OutCount() != 0 || s.DropCount("a") != 0 || s.TotalDrops() != 0 {
+		t.Fatal("nil stage should count nothing")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "" || s.Name() != "" {
+		t.Fatal("nil names should be empty")
+	}
+	if f.Stages() != nil || f.Drops() != nil {
+		t.Fatal("nil funnel has no stages")
+	}
+}
+
+func TestRegisterFunnelReplacesByName(t *testing.T) {
+	r := New()
+	f1 := NewFunnel("pipeline")
+	f1.Stage("s").In(1)
+	r.RegisterFunnel(f1)
+	f2 := NewFunnel("pipeline")
+	f2.Stage("s").In(2)
+	r.RegisterFunnel(f2)
+	snap := r.Snapshot()
+	if len(snap.Funnels) != 1 {
+		t.Fatalf("got %d funnels, want 1 (replacement by name)", len(snap.Funnels))
+	}
+	if snap.Funnels[0].Stages[0].In != 2 {
+		t.Fatalf("registry kept the stale funnel: in = %d", snap.Funnels[0].Stages[0].In)
+	}
+}

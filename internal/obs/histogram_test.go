@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the Prometheus le semantics: an
+// observation exactly on a bound is INSIDE that bucket (v <= le), the
+// next representable value above it is in the next bucket, and values
+// beyond the last bound land in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram("h", "", []float64{10, 20, 40})
+
+	h.Observe(10)                     // exactly on bound 0 -> bucket 0
+	h.Observe(math.Nextafter(10, 11)) // just above -> bucket 1
+	h.Observe(20)                     // bound 1 -> bucket 1
+	h.Observe(40)                     // bound 2 -> bucket 2
+	h.Observe(40.000001)              // above the last bound -> +Inf bucket
+	h.Observe(-5)                     // below everything -> bucket 0
+	h.Observe(math.Inf(1))            // +Inf value -> +Inf bucket
+
+	want := []int64{2, 2, 1, 2} // buckets 10, 20, 40, +Inf
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+}
+
+func TestHistogramSumAndCount(t *testing.T) {
+	h := newHistogram("h", "", []float64{1})
+	for _, v := range []float64{0.25, 0.5, 2} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); got != 2.75 {
+		t.Errorf("sum = %v, want 2.75", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := h.BucketCount(0); got != 2 {
+		t.Errorf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.BucketCount(1); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	// Out-of-range bucket queries are zero, not panics.
+	if got := h.BucketCount(99); got != 0 {
+		t.Errorf("bucket 99 = %d, want 0", got)
+	}
+}
+
+// TestPresetBuckets checks both presets are strictly ascending and that
+// the paper's thresholds sit exactly on KmErrorBuckets boundaries, so
+// the 100 km / 80 km / 40 km cuts are readable off the histogram.
+func TestPresetBuckets(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"latency": LatencyBuckets(),
+		"km":      KmErrorBuckets(),
+	} {
+		if !sort.Float64sAreSorted(bounds) {
+			t.Errorf("%s buckets are not ascending: %v", name, bounds)
+		}
+		seen := map[float64]bool{}
+		for _, b := range bounds {
+			if seen[b] {
+				t.Errorf("%s buckets repeat %v", name, b)
+			}
+			seen[b] = true
+		}
+	}
+	km := KmErrorBuckets()
+	for _, threshold := range []float64{40, 80, 100} {
+		found := false
+		for _, b := range km {
+			if b == threshold {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper threshold %v km is not a KmErrorBuckets boundary", threshold)
+		}
+	}
+}
+
+// TestHistogramBoundsImmutable proves registration-time bounds copying:
+// mutating the caller's slice after registration must not change bucket
+// assignment.
+func TestHistogramBoundsImmutable(t *testing.T) {
+	r := New()
+	bounds := []float64{5, 10}
+	h := r.Histogram("immutable", bounds)
+	bounds[0] = 1000
+	h.Observe(7)
+	if got := h.BucketCount(1); got != 1 {
+		t.Fatalf("observation landed in bucket %d; bounds were not copied", got)
+	}
+}

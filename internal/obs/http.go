@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTPHandler returns the live observability endpoint:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /metrics.json   deterministic JSON snapshot
+//	GET /debug/pprof/   net/http/pprof (profile, heap, trace, ...)
+//
+// Handlers snapshot the registry on every request, so scraping during a
+// run observes live counters. The handler works on a nil registry too
+// (it serves empty snapshots), so -pprof can profile a run that has no
+// metrics sink configured.
+func (r *Registry) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	// Explicit pprof routes (the blank-import route registers on
+	// http.DefaultServeMux, which we deliberately do not serve).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

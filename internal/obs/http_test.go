@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// TestHTTPHandlerServesLiveMetrics proves the §acceptance requirement:
+// GET /metrics serves the Prometheus exposition of the registry's LIVE
+// state (scrapes during a run see current counters), /metrics.json the
+// JSON snapshot, and /debug/pprof/ the profiler index — all without
+// fixed ports (httptest binds ephemerally).
+func TestHTTPHandlerServesLiveMetrics(t *testing.T) {
+	r := New()
+	c := r.Counter("live_total")
+	c.Add(1)
+	srv := httptest.NewServer(r.HTTPHandler())
+	defer srv.Close()
+
+	code, body, ctype := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, "live_total 1") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	// The handler must snapshot per request, not once.
+	c.Add(41)
+	_, body, _ = get(t, srv, "/metrics")
+	if !strings.Contains(body, "live_total 42") {
+		t.Fatalf("/metrics is stale:\n%s", body)
+	}
+
+	code, body, ctype = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/metrics.json status %d content-type %q", code, ctype)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json is not JSON: %v", err)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	code, _, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestHTTPHandlerNilRegistry: -pprof should work even when no metrics
+// sink is configured; the endpoints serve empty snapshots.
+func TestHTTPHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv := httptest.NewServer(r.HTTPHandler())
+	defer srv.Close()
+	code, _, _ := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics on nil registry: status %d", code)
+	}
+	code, body, _ := get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json on nil registry: status %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ on nil registry: status %d", code)
+	}
+}

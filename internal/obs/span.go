@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is a monotonic wall-clock timer with parent/child nesting. Spans
+// are created via Registry.StartSpan (roots) and Span.Child; End records
+// the duration. Creating children and ending spans is safe from
+// concurrent goroutines (the experiments fan per-AS work out over the
+// worker pool), so sibling order follows creation order under the
+// span's lock.
+//
+// A nil *Span (the disabled-registry state) is a no-op: Child returns
+// nil and End does nothing, so instrumented code never branches on the
+// registry itself.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	durNS atomic.Int64 // -1 while open
+	mu    sync.Mutex
+	kids  []*Span
+}
+
+// maxRootSpans bounds trace memory. A long batch run (thousands of KDE
+// estimates, each opening a root span) would otherwise retain every span
+// for the registry's lifetime, growing the GC-scanned heap without
+// bound. Past the cap, StartSpan hands out detached spans: they still
+// time and parent children exactly as before — the caller cannot tell
+// the difference — but the registry does not keep a reference, so they
+// become collectable as soon as the caller drops them. WriteTrace
+// reports how many roots were shed.
+const maxRootSpans = 512
+
+// StartSpan opens a root span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := newSpan(r, name)
+	r.mu.Lock()
+	if len(r.spans) < maxRootSpans {
+		r.spans = append(r.spans, s)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	return s
+}
+
+func newSpan(r *Registry, name string) *Span {
+	s := &Span{reg: r, name: name, start: r.clock()}
+	s.durNS.Store(-1)
+	return s
+}
+
+// Child opens a nested span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.reg, name)
+	s.mu.Lock()
+	s.kids = append(s.kids, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration. Ending twice keeps the first
+// duration. No-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := s.reg.clock().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.durNS.CompareAndSwap(-1, int64(d))
+}
+
+// Duration returns the recorded duration and whether the span has ended.
+func (s *Span) Duration() (time.Duration, bool) {
+	if s == nil {
+		return 0, false
+	}
+	ns := s.durNS.Load()
+	if ns < 0 {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// children returns a snapshot of the child slice.
+func (s *Span) children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.kids))
+	copy(out, s.kids)
+	return out
+}
+
+// WriteTrace renders the span forest as an indented tree with durations
+// — the CLIs' -trace output. Durations are timing observations and vary
+// run to run; the tree *shape* is deterministic for serial
+// orchestration code and creation-ordered within a parent.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	roots := make([]*Span, len(r.spans))
+	copy(roots, r.spans)
+	dropped := r.dropped
+	r.mu.Unlock()
+	for _, s := range roots {
+		if err := writeSpan(w, s, 0); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d more root spans not retained (cap %d)\n", dropped, maxRootSpans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) error {
+	dur := "(open)"
+	if d, ok := s.Duration(); ok {
+		dur = d.Round(time.Microsecond).String()
+	}
+	pad := 32 - 2*depth - len(s.name)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%*s%s%*s%s\n", 2*depth, "", s.name, pad, "", dur); err != nil {
+		return err
+	}
+	for _, c := range s.children() {
+		if err := writeSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

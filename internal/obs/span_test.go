@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// pinnedClock returns a deterministic clock advancing 1 ms per call.
+func pinnedClock() func() time.Time {
+	base := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	r := New()
+	r.SetClock(pinnedClock())
+	root := r.StartSpan("root") // t=1ms
+	child := root.Child("kid")  // t=2ms
+	child.End()                 // t=3ms -> 1ms
+	root.End()                  // t=4ms -> 3ms
+
+	if d, ok := child.Duration(); !ok || d != time.Millisecond {
+		t.Fatalf("child duration = %v/%v, want 1ms", d, ok)
+	}
+	if d, ok := root.Duration(); !ok || d != 3*time.Millisecond {
+		t.Fatalf("root duration = %v/%v, want 3ms", d, ok)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := New()
+	r.SetClock(pinnedClock())
+	s := r.StartSpan("s") // t=1ms
+	s.End()               // t=2ms -> 1ms
+	s.End()               // must keep the first duration
+	if d, _ := s.Duration(); d != time.Millisecond {
+		t.Fatalf("second End changed the duration to %v", d)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	r := New()
+	r.SetClock(pinnedClock())
+	root := r.StartSpan("pipeline.build")
+	locate := root.Child("locate")
+	locate.End()
+	root.Child("aggregate") // left open on purpose
+	root.End()
+
+	var b strings.Builder
+	if err := r.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pipeline.build", "locate", "aggregate", "(open)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// The child lines are indented under the root.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d trace lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "  locate") || !strings.HasPrefix(lines[2], "  aggregate") {
+		t.Fatalf("children not indented:\n%s", out)
+	}
+}
+
+func TestSnapshotSpans(t *testing.T) {
+	r := New()
+	r.SetClock(pinnedClock())
+	root := r.StartSpan("a")
+	root.Child("b").End()
+	root.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(snap.Spans))
+	}
+	if snap.Spans[0].Name != "a" || len(snap.Spans[0].Children) != 1 {
+		t.Fatalf("unexpected span tree: %+v", snap.Spans[0])
+	}
+	if snap.Spans[0].Children[0].DurationNS != int64(time.Millisecond) {
+		t.Fatalf("child duration = %d", snap.Spans[0].Children[0].DurationNS)
+	}
+}
+
+// TestSpanRetentionCap: past maxRootSpans the registry hands out fully
+// functional but detached spans — the caller's timing still works, the
+// snapshot stays bounded, and WriteTrace reports the shed count.
+func TestSpanRetentionCap(t *testing.T) {
+	r := New()
+	r.SetClock(pinnedClock())
+	for i := 0; i < maxRootSpans+7; i++ {
+		s := r.StartSpan("batch")
+		if s == nil {
+			t.Fatal("StartSpan returned nil past the cap")
+		}
+		s.Child("inner").End()
+		s.End()
+		if _, ok := s.Duration(); !ok {
+			t.Fatal("detached span lost its timer")
+		}
+	}
+	if got := len(r.Snapshot().Spans); got != maxRootSpans {
+		t.Fatalf("snapshot has %d root spans, want cap %d", got, maxRootSpans)
+	}
+	var b strings.Builder
+	if err := r.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7 more root spans not retained") {
+		t.Fatalf("trace does not report shed spans:\n...%s", b.String()[len(b.String())-200:])
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/ipnet"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/rng"
 	"eyeballas/internal/users"
 )
@@ -76,6 +77,10 @@ type Config struct {
 	KadZones int
 	// Torrents is the number of swarms the BitTorrent crawler scrapes.
 	Torrents int
+	// Obs receives crawl metrics (contacts/peers/dups per app) and the
+	// per-app crawl spans; nil disables instrumentation. Metrics are a
+	// read-only side channel: the crawl is byte-identical either way.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns penetration rates tuned so the per-region peer
@@ -123,10 +128,26 @@ type Crawl struct {
 }
 
 // Run executes all three crawls over the world. The result is
-// deterministic in (world, src seed).
+// deterministic in (world, src seed), with or without an observability
+// registry in cfg.Obs.
 func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	span := cfg.Obs.StartSpan("p2p.crawl")
+	defer span.End()
+	// Per-app accounting: raw contacts observed (before the crawlers'
+	// unique-IP dedup), unique peers reported, and dedup-suppressed
+	// repeats. Registered once, flushed per (AS, app) — never per draw.
+	contactsC := make([]*obs.Counter, len(Apps))
+	peersC := make([]*obs.Counter, len(Apps))
+	dupsC := make([]*obs.Counter, len(Apps))
+	if cfg.Obs != nil {
+		for _, app := range Apps {
+			contactsC[app] = cfg.Obs.Counter("eyeball_crawl_contacts_total", "app", app.String())
+			peersC[app] = cfg.Obs.Counter("eyeball_crawl_peers_total", "app", app.String())
+			dupsC[app] = cfg.Obs.Counter("eyeball_crawl_dup_contacts_total", "app", app.String())
+		}
 	}
 	placer := users.NewPlacer(w)
 	out := &Crawl{ByApp: make(map[App]int)}
@@ -154,6 +175,7 @@ func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 				continue
 			}
 			seen := make(map[ipnet.Addr]bool, n)
+			unique := 0
 			for i := 0; i < n; i++ {
 				u := users.User{
 					IP:      placer.IPFor(a, s),
@@ -164,11 +186,15 @@ func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 					continue // crawlers report unique IPs per app
 				}
 				seen[u.IP] = true
+				unique++
 				out.Peers = append(out.Peers, Peer{
 					IP: u.IP, App: app, TrueASN: u.ASN, TrueLoc: u.TrueLoc,
 				})
 				out.ByApp[app]++
 			}
+			contactsC[app].Add(int64(n))
+			peersC[app].Add(int64(unique))
+			dupsC[app].Add(int64(n - unique))
 		}
 	}
 	return out, nil

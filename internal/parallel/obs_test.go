@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"eyeballas/internal/obs"
+)
+
+// TestPoolMetricsSmoke installs a metrics sink, runs a Blocks pass, and
+// checks the counters moved: the pool saw every block, the timing
+// histograms observed one sample per block, and per-worker busy time is
+// non-negative. It also proves SetMetrics(nil) disarms the sink.
+func TestPoolMetricsSmoke(t *testing.T) {
+	reg := obs.New()
+	SetMetrics(MetricsFrom(reg))
+	defer SetMetrics(nil)
+
+	var visited atomic.Int64
+	const n, block = 1000, 64
+	if err := Blocks(4, n, block, func(lo, hi int) error {
+		visited.Add(int64(hi - lo))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != n {
+		t.Fatalf("visited %d items, want %d", visited.Load(), n)
+	}
+
+	wantBlocks := int64((n + block - 1) / block)
+	if got := reg.Counter("eyeball_parallel_blocks_total").Value(); got != wantBlocks {
+		t.Fatalf("blocks counter = %d, want %d", got, wantBlocks)
+	}
+	h := reg.Histogram("eyeball_parallel_block_seconds", obs.LatencyBuckets())
+	if got := h.Count(); got != wantBlocks {
+		t.Fatalf("block histogram count = %d, want %d", got, wantBlocks)
+	}
+	wait := reg.Histogram("eyeball_parallel_queue_wait_seconds", obs.LatencyBuckets())
+	if got := wait.Count(); got != wantBlocks {
+		t.Fatalf("wait histogram count = %d, want %d", got, wantBlocks)
+	}
+
+	// Per-worker busy counters exist and are sane.
+	snap := reg.Snapshot()
+	var busySeries int
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "eyeball_parallel_worker_busy_ns_total") {
+			busySeries++
+			if c.Value < 0 {
+				t.Fatalf("negative busy time in %s%s", c.Name, c.Labels)
+			}
+		}
+	}
+	if busySeries == 0 {
+		t.Fatal("no per-worker busy counters were created")
+	}
+
+	// After removal the pool must stop counting.
+	SetMetrics(nil)
+	if err := Blocks(4, n, block, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("eyeball_parallel_blocks_total").Value(); got != wantBlocks {
+		t.Fatalf("blocks counter moved after SetMetrics(nil): %d", got)
+	}
+}
+
+// TestPoolMetricsInlinePath covers workers=1, which runs inline on the
+// calling goroutine: the metrics must still see the blocks.
+func TestPoolMetricsInlinePath(t *testing.T) {
+	reg := obs.New()
+	SetMetrics(MetricsFrom(reg))
+	defer SetMetrics(nil)
+
+	if err := Blocks(1, 100, 10, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("eyeball_parallel_blocks_total").Value(); got != 10 {
+		t.Fatalf("inline path blocks = %d, want 10", got)
+	}
+}

@@ -25,9 +25,71 @@ package parallel
 import (
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"eyeballas/internal/obs"
 )
+
+// Metrics is the pool's instrumentation bundle: how many blocks were
+// dispatched, how long each one waited in the queue (from pool start to
+// pickup), how long it ran, and per-worker busy time. All observations
+// are timing-only side channels — enabling them never changes what the
+// pool computes or in what decomposition.
+type Metrics struct {
+	reg    *obs.Registry
+	blocks *obs.Counter
+	wait   *obs.Histogram
+	block  *obs.Histogram
+
+	mu   sync.Mutex
+	busy []*obs.Counter // per worker index, created lazily
+}
+
+// MetricsFrom builds the pool metrics backed by reg (nil reg → nil
+// Metrics, the disabled state).
+func MetricsFrom(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:    reg,
+		blocks: reg.Counter("eyeball_parallel_blocks_total"),
+		wait:   reg.Histogram("eyeball_parallel_queue_wait_seconds", obs.LatencyBuckets()),
+		block:  reg.Histogram("eyeball_parallel_block_seconds", obs.LatencyBuckets()),
+	}
+}
+
+// busyCounter returns the busy-time counter for one worker index.
+func (m *Metrics) busyCounter(w int) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.busy) <= w {
+		m.busy = append(m.busy,
+			m.reg.Counter("eyeball_parallel_worker_busy_ns_total", "worker", strconv.Itoa(len(m.busy))))
+	}
+	return m.busy[w]
+}
+
+// metrics is the process-wide pool instrumentation, installed by the
+// CLIs via SetMetrics. The pool reads it with one atomic pointer load
+// per pool invocation (not per block), so the disabled state costs one
+// load and a branch.
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the pool's metrics sink.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
+
+// recordBlock folds one finished block into the metrics.
+func (m *Metrics) recordBlock(worker int, poolStart, blockStart time.Time, end time.Time) {
+	m.blocks.Inc()
+	m.wait.Observe(blockStart.Sub(poolStart).Seconds())
+	d := end.Sub(blockStart)
+	m.block.Observe(d.Seconds())
+	m.busyCounter(worker).Add(int64(d))
+}
 
 // DefaultWorkers is the worker count used when a caller passes
 // workers <= 0: the process's GOMAXPROCS.
@@ -114,6 +176,11 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 	}
 	nblocks := (n + block - 1) / block
 	workers = Resolve(workers, nblocks)
+	m := metrics.Load()
+	var poolStart time.Time
+	if m != nil {
+		poolStart = time.Now()
+	}
 	if workers == 1 {
 		// Inline fast path: no goroutines, natural panic propagation.
 		// Stops at the first error, which is necessarily the
@@ -124,7 +191,15 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 			if hi > n {
 				hi = n
 			}
-			if _, err := fn(lo, hi); err != nil {
+			var blockStart time.Time
+			if m != nil {
+				blockStart = time.Now()
+			}
+			_, err := fn(lo, hi)
+			if m != nil {
+				m.recordBlock(0, poolStart, blockStart, time.Now())
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -144,7 +219,7 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				b := int(next.Add(1))
@@ -156,7 +231,14 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 				if hi > n {
 					hi = n
 				}
+				var blockStart time.Time
+				if m != nil {
+					blockStart = time.Now()
+				}
 				idx, err, pv, panicked := runBlock(fn, lo, hi)
+				if m != nil {
+					m.recordBlock(worker, poolStart, blockStart, time.Now())
+				}
 				if err == nil && !panicked {
 					continue
 				}
@@ -169,7 +251,7 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicAt.set {

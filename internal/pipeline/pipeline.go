@@ -21,6 +21,7 @@ import (
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geodb"
 	"eyeballas/internal/ipnet"
+	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/parallel"
 	"eyeballas/internal/rng"
@@ -49,6 +50,12 @@ type Config struct {
 	// byte-identical for every setting: results are index-addressed and
 	// aggregation always applies them in a fixed order.
 	Workers int
+	// Obs receives pipeline metrics: the stage funnel, per-stage spans,
+	// the per-AS P90 geo-error histogram, and the shard-aggregated
+	// origin-lookup counter. nil disables exposition; the funnel itself
+	// is always built (Dataset.Drops and the CLI summary are views over
+	// it), and datasets are bit-identical with or without a registry.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns thresholds for the default synthetic scale
@@ -107,6 +114,17 @@ type Dataset struct {
 	// TotalPeers is the number of usable samples across all eligible
 	// ASes (the paper's 48M).
 	TotalPeers int
+	// CrawledPeers is the crawl size the funnel started from (the
+	// paper's 89.1M).
+	CrawledPeers int
+	// Funnel is the stage-by-stage accounting of this build:
+	// geolocate → origin → dedup → condition, with per-reason drop
+	// counts. It is always populated (even with Config.Obs == nil);
+	// Drops is a fixed-shape view over the same counts, and
+	// Funnel.Check() proves conservation: every crawled peer is either
+	// in TotalPeers, dropped at a peer-level stage, or inside a
+	// dropped AS.
+	Funnel *obs.Funnel
 }
 
 // AS returns the record for an AS, or nil.
@@ -144,33 +162,78 @@ const (
 //
 // origins is any bgp.Resolver; Run passes a *bgp.OriginTable, whose
 // lookups are served from the compiled flat LPM form. The interface keeps
-// the trie reference path substitutable for differential testing.
+// the trie reference path substitutable for differential testing. If
+// origins additionally implements bgp.CheckedResolver, the checked path
+// is used and a lookup error aborts the build (propagated out of the
+// worker pool with lowest-index-wins semantics).
 func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ds := &Dataset{ASes: make(map[astopo.ASN]*ASRecord)}
+	span := cfg.Obs.StartSpan("pipeline.build")
+	defer span.End()
+
+	// The funnel is built unconditionally: Dataset.Drops and the CLI
+	// summary are views over it. Registering it on a nil registry is a
+	// no-op.
+	funnel := obs.NewFunnel("pipeline")
+	cfg.Obs.RegisterFunnel(funnel)
+	stGeo := funnel.Stage("geolocate").DeclareReasons("no_city", "high_geo_err")
+	stOrigin := funnel.Stage("origin").DeclareReasons("unmapped_ip")
+	stDedup := funnel.Stage("dedup").DeclareReasons("dup_ip")
+	stCond := funnel.Stage("condition").DeclareReasons("small_as", "high_err_as")
+
+	ds := &Dataset{
+		ASes:         make(map[astopo.ASN]*ASRecord),
+		CrawledPeers: len(crawl.Peers),
+		Funnel:       funnel,
+	}
 	seenIP := make(map[ipnet.Addr]astopo.ASN, len(crawl.Peers))
 
+	// Optional checked path: detected once, outside the hot loop.
+	checked, _ := origins.(bgp.CheckedResolver)
+	// Shard-aggregated lookup counter: each work block accumulates a
+	// plain local count and flushes one atomic add, so the ~6 ns
+	// compiled OriginOf stays instruction-identical (see
+	// bgp.NewOriginTableObs). Nil when metrics are disabled — Add on a
+	// nil counter is a branch-only no-op.
+	lookupsC := cfg.Obs.Counter("eyeball_bgp_origin_lookups_total")
+
 	results := make([]located, len(crawl.Peers))
-	_ = parallel.Blocks(cfg.Workers, len(crawl.Peers), 0, func(lo, hi int) error {
+	locSpan := span.Child("locate")
+	err := parallel.Blocks(cfg.Workers, len(crawl.Peers), 0, func(lo, hi int) error {
+		var lookups int64
 		for i := lo; i < hi; i++ {
-			results[i] = locateOne(crawl.Peers[i], dbA, dbB, origins, cfg)
+			r, err := locateOne(crawl.Peers[i], dbA, dbB, origins, checked, cfg)
+			if err != nil {
+				return err
+			}
+			if r.drop == dropNone || r.drop == dropUnmappedIP {
+				lookups++ // an origin lookup was actually performed
+			}
+			results[i] = r
 		}
+		lookupsC.Add(lookups)
 		return nil
 	})
+	locSpan.End()
+	if err != nil {
+		return nil, err
+	}
 
+	aggSpan := span.Child("aggregate")
+	var noCity, highGeoErr, unmapped, dup int
 	for i, peer := range crawl.Peers {
 		r := results[i]
 		switch r.drop {
 		case dropNoCity:
-			ds.Drops.NoCityRecord++
+			noCity++
 			continue
 		case dropHighGeoErr:
-			ds.Drops.HighGeoErr++
+			highGeoErr++
 			continue
 		case dropUnmappedIP:
-			ds.Drops.UnmappedIP++
+			unmapped++
 			continue
 		}
 		rec := ds.ASes[r.asn]
@@ -178,37 +241,73 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Confi
 			rec = &ASRecord{ASN: r.asn, PeersByApp: make(map[p2p.App]int)}
 			ds.ASes[r.asn] = rec
 		}
-		if _, dup := seenIP[peer.IP]; dup {
+		if _, isDup := seenIP[peer.IP]; isDup {
 			// Unique-IP semantics (§2: "89.1 million unique IP
 			// addresses"): the sample is stored once but still counts in
 			// this app's column.
 			rec.PeersByApp[peer.App]++
-			ds.Drops.DupIP++
+			dup++
 			continue
 		}
 		seenIP[peer.IP] = r.asn
 		rec.PeersByApp[peer.App]++
 		rec.Samples = append(rec.Samples, r.sample)
 	}
+	aggSpan.End()
 
-	return condition(ds, cfg), nil
+	// Flush the peer-level funnel stages once per reason (the serial
+	// loop above used plain locals — no per-peer atomics) and derive
+	// the fixed-shape Drops view from the same counts.
+	n := len(crawl.Peers)
+	stGeo.In(n)
+	stGeo.Drop("no_city", noCity)
+	stGeo.Drop("high_geo_err", highGeoErr)
+	geoOut := n - noCity - highGeoErr
+	stGeo.Out(geoOut)
+	stOrigin.In(geoOut)
+	stOrigin.Drop("unmapped_ip", unmapped)
+	originOut := geoOut - unmapped
+	stOrigin.Out(originOut)
+	stDedup.In(originOut)
+	stDedup.Drop("dup_ip", dup)
+	stDedup.Out(originOut - dup)
+	ds.Drops.NoCityRecord = noCity
+	ds.Drops.HighGeoErr = highGeoErr
+	ds.Drops.UnmappedIP = unmapped
+	ds.Drops.DupIP = dup
+
+	condSpan := span.Child("condition")
+	out := condition(ds, cfg, stCond)
+	condSpan.End()
+	return out, nil
 }
 
 // locateOne runs the pure per-peer stage: dual geolocation, error
-// estimation, the 100 km cut, and origin-AS lookup.
-func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) located {
+// estimation, the 100 km cut, and origin-AS lookup. checked is non-nil
+// when origins supports fallible lookups; a lookup error aborts the
+// whole build.
+func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, checked bgp.CheckedResolver, cfg Config) (located, error) {
 	recA := dbA.Locate(peer.IP, peer.TrueLoc)
 	recB := dbB.Locate(peer.IP, peer.TrueLoc)
 	geoErr, ok := geodb.CrossError(recA, recB)
 	if !ok {
-		return located{drop: dropNoCity}
+		return located{drop: dropNoCity}, nil
 	}
 	if geoErr > cfg.MaxGeoErrKm {
-		return located{drop: dropHighGeoErr}
+		return located{drop: dropHighGeoErr}, nil
 	}
-	asn, ok := origins.OriginOf(peer.IP)
+	var asn astopo.ASN
+	if checked != nil {
+		var err error
+		asn, ok, err = checked.OriginOfChecked(peer.IP)
+		if err != nil {
+			return located{}, fmt.Errorf("pipeline: origin lookup for %s: %w", peer.IP, err)
+		}
+	} else {
+		asn, ok = origins.OriginOf(peer.IP)
+	}
 	if !ok {
-		return located{drop: dropUnmappedIP}
+		return located{drop: dropUnmappedIP}, nil
 	}
 	return located{
 		asn: asn,
@@ -220,7 +319,7 @@ func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Conf
 			Region:   recA.Region,
 			GeoErrKm: geoErr,
 		},
-	}
+	}, nil
 }
 
 // condition applies the AS-level filters and classification. The per-AS
@@ -229,7 +328,7 @@ func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Conf
 // worker pool into index-addressed verdicts; the filters and counters are
 // then applied serially in ascending-ASN order, making drop counts,
 // Order, and TotalPeers identical for every worker count.
-func condition(ds *Dataset, cfg Config) *Dataset {
+func condition(ds *Dataset, cfg Config, stCond *obs.Stage) *Dataset {
 	asns := make([]astopo.ASN, 0, len(ds.ASes))
 	for asn := range ds.ASes {
 		asns = append(asns, asn)
@@ -267,23 +366,49 @@ func condition(ds *Dataset, cfg Config) *Dataset {
 		return nil
 	})
 
+	// Per-AS P90 geo-error histogram (observed for every AS whose P90
+	// was computed, i.e. non-small ones) and AS-level drop counters.
+	// All handles are nil (branch-only no-ops) when metrics are
+	// disabled.
+	p90Hist := cfg.Obs.Histogram("eyeball_pipeline_as_p90_geoerr_km", obs.KmErrorBuckets())
+	smallASC := cfg.Obs.Counter("eyeball_pipeline_as_dropped_total", "reason", "small_as")
+	highErrASC := cfg.Obs.Counter("eyeball_pipeline_as_dropped_total", "reason", "high_err_as")
+
+	var condIn, smallPeers, highErrPeers int
 	for i, asn := range asns {
 		v := verdicts[i]
+		rec := ds.ASes[asn]
+		condIn += len(rec.Samples)
 		switch {
 		case v.small:
 			delete(ds.ASes, asn)
 			ds.Drops.SmallAS++
+			smallPeers += len(rec.Samples)
 		case v.highErr:
+			p90Hist.Observe(v.p90)
 			delete(ds.ASes, asn)
 			ds.Drops.HighErrAS++
+			highErrPeers += len(rec.Samples)
 		default:
-			rec := ds.ASes[asn]
+			p90Hist.Observe(v.p90)
 			rec.P90GeoErrKm = v.p90
 			rec.Class = v.class
 			rec.Region = v.region
 			ds.TotalPeers += len(rec.Samples)
 			ds.Order = append(ds.Order, asn)
 		}
+	}
+	// Funnel accounting: the condition stage counts peers, not ASes —
+	// the peers inside a dropped AS are the stage's drops, so the
+	// funnel's conservation invariant closes over the whole crawl.
+	stCond.In(condIn)
+	stCond.Drop("small_as", smallPeers)
+	stCond.Drop("high_err_as", highErrPeers)
+	stCond.Out(ds.TotalPeers)
+	smallASC.Add(int64(ds.Drops.SmallAS))
+	highErrASC.Add(int64(ds.Drops.HighErrAS))
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge("eyeball_pipeline_eligible_ases").Set(float64(len(ds.Order)))
 	}
 	return ds
 }
@@ -292,11 +417,18 @@ func condition(ds *Dataset, cfg Config) *Dataset {
 // origin tables from three vantage tier-1s, and condition the dataset.
 // It is the one-call entry point used by the examples and experiments.
 func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *p2p.Crawl, error) {
+	span := cfg.Obs.StartSpan("pipeline.run")
+	defer span.End()
+	if crawlCfg.Obs == nil {
+		crawlCfg.Obs = cfg.Obs
+	}
 	crawl, err := p2p.Run(w, crawlCfg, seedSource(crawlSeed))
 	if err != nil {
 		return nil, nil, err
 	}
+	routingSpan := span.Child("bgp.routing")
 	routing := bgp.ComputeRouting(w)
+	routingSpan.End()
 	// Per-vantage RIB construction is independent; fan it out, keeping
 	// the vantage order (and thus the origin table) fixed.
 	var vantages []astopo.ASN
@@ -313,8 +445,9 @@ func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*D
 		return nil, nil, fmt.Errorf("pipeline: world has no tier-1 vantage points")
 	}
 	ribs := make([]*bgp.RIB, len(vantages))
+	ribSpan := span.Child("bgp.ribs")
 	if err := parallel.ForEach(cfg.Workers, vantages, func(i int, vantage astopo.ASN) error {
-		rib, err := bgp.BuildRIB(w, routing, vantage)
+		rib, err := bgp.BuildRIBObs(w, routing, vantage, cfg.Obs)
 		if err != nil {
 			return err
 		}
@@ -323,7 +456,8 @@ func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*D
 	}); err != nil {
 		return nil, nil, err
 	}
-	origins := bgp.NewOriginTable(ribs...)
+	ribSpan.End()
+	origins := bgp.NewOriginTableObs(cfg.Obs, ribs...)
 	ds, err := Build(crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
 	if err != nil {
 		return nil, nil, err
