@@ -11,6 +11,7 @@ package eyeball
 // scale.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -293,7 +294,7 @@ func BenchmarkFootprintFanOut(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
 			b.ReportMetric(float64(len(records)), "ases")
 			for i := 0; i < b.N; i++ {
-				err := parallel.ForEach(w, records, func(_ int, rec *ASRecord) error {
+				err := parallel.ForEach(context.Background(), w, records, func(_ int, rec *ASRecord) error {
 					_, err := EstimateFootprint(env.World, rec.Samples, FootprintOptions{Workers: 1})
 					return err
 				})

@@ -5,18 +5,27 @@
 // Usage:
 //
 //	eyeballexp [-seed N] [-small] [-out dir] [-exp all|table1|figure1|figure2|section5|dimes|casestudy]
+//	           [-faults spec] [-fault-seed N]
 //	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// SIGINT/SIGTERM cancel the run: every experiment's worker pools stop
+// within one work unit, the process exits non-zero, and -metrics still
+// writes a partial snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"eyeballas"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
 )
@@ -24,12 +33,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballexp: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballexp", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -37,9 +48,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	paper := fs.Bool("paper", false, "use the paper-scale world (1233 eyeball ASes; takes minutes)")
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save")
 	outDir := fs.String("out", "", "directory to write per-experiment artifacts into")
-	expSel := fs.String("exp", "all", "experiment to run: all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict")
+	expSel := fs.String("exp", "all", "experiment to run: all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict|degradation")
+	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
 		return err
 	}
 	reg := obsFlags.Registry()
@@ -50,11 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
+	defer obsFlags.Finish(stdout, stderr)
 
-	var (
-		env *eyeball.Experiments
-		err error
-	)
+	var env *eyeball.Experiments
 	switch {
 	case *worldPath != "":
 		f, err2 := os.Open(*worldPath)
@@ -68,13 +82,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg := eyeball.DefaultPipelineConfig()
 		cfg.Obs = reg
-		env, err = eyeball.NewExperimentsWithWorld(w, *seed, cfg)
+		cfg.Faults = plan
+		env, err = eyeball.NewExperimentsWithWorldCtx(ctx, w, *seed, cfg)
 	case *paper:
-		env, err = eyeball.NewPaperScaleExperimentsObs(*seed, reg)
+		env, err = eyeball.NewPaperScaleExperimentsCtx(ctx, *seed, reg, plan)
 	case *small:
-		env, err = eyeball.NewSmallExperimentsObs(*seed, reg)
+		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan)
 	default:
-		env, err = eyeball.NewExperimentsObs(*seed, reg)
+		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan)
 	}
 	if err != nil {
 		return err
@@ -222,8 +237,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		emit("stability", st.Render(), "")
 		ran = true
 	}
+	if want("degradation") {
+		dg, err := eyeball.RunDegradation(env, nil)
+		if err != nil {
+			return err
+		}
+		emit("degradation", dg.Render(), dg.CSV())
+		ran = true
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict|peergeo|stability|density|services|crawlquality)", *expSel)
+		return fmt.Errorf("unknown experiment %q (want all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict|peergeo|stability|density|services|crawlquality|degradation)", *expSel)
 	}
 	if emitErr != nil {
 		return emitErr

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,7 +13,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-exp", "table1"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-exp", "table1"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -26,7 +28,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunAllWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-out", dir}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -34,6 +36,7 @@ func TestRunAllWritesArtifacts(t *testing.T) {
 		"peergeo.txt", "stability.txt", "density.txt", "services.txt", "crawlquality.txt",
 		"section5.txt", "dimes.txt", "casestudy.txt",
 		"multiscale.txt", "bias.txt", "fusion.txt", "predict.txt",
+		"degradation.txt", "degradation.csv",
 	} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Errorf("artifact %s missing: %v", name, err)
@@ -46,7 +49,46 @@ func TestRunAllWritesArtifacts(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-exp", "nonsense"}, &out, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-exp", "nonsense"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunBadInputs drives the user-error paths: unknown flags and
+// experiments, bad fault specs, missing or corrupt world snapshots.
+func TestRunBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.snap")
+	if err := os.WriteFile(corrupt, []byte("not a world snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"unknown experiment", []string{"-small", "-seed", "5", "-exp", "nonsense"}},
+		{"faults spec without rate", []string{"-small", "-faults", "nonsense"}},
+		{"faults unknown point", []string{"-small", "-faults", "bogus=0.1"}},
+		{"faults rate out of range", []string{"-small", "-faults", "crawl-loss=1.5"}},
+		{"missing world file", []string{"-world", filepath.Join(dir, "absent.snap")}},
+		{"corrupt world file", []string{"-world", corrupt}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(context.Background(), tc.args, io.Discard, io.Discard); err == nil {
+				t.Errorf("run(%q) accepted bad input", tc.args)
+			}
+		})
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context aborts environment
+// generation with ctx.Err().
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-small", "-seed", "5", "-exp", "table1"}, io.Discard, io.Discard); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
 	}
 }

@@ -5,18 +5,29 @@
 // Usage:
 //
 //	eyeballgen [-seed N] [-small] [-rib out.rib] [-list]
+//	           [-faults spec] [-fault-seed N]
 //	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// With -faults, the rib-truncate and rib-corrupt points mangle the -rib
+// dump deterministically (a cut-off transfer, mangled rows) — the
+// degraded inputs the pipeline's RIB reader must reject or survive.
+// SIGINT/SIGTERM cancel the run and exit non-zero.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"eyeballas"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
 )
@@ -24,12 +35,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballgen: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballgen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world generation seed")
@@ -38,8 +51,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonPath := fs.String("json", "", "write the full ground-truth world as JSON to this file")
 	savePath := fs.String("save", "", "write a reloadable world snapshot to this file")
 	list := fs.Bool("list", false, "list every AS")
+	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
 		return err
 	}
 	reg := obsFlags.Registry()
@@ -50,11 +68,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
+	defer obsFlags.Finish(stdout, stderr)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	var (
-		w   *eyeball.World
-		err error
-	)
+	var w *eyeball.World
 	genSpan := reg.StartSpan("eyeballgen.generate")
 	if *small {
 		w, err = eyeball.GenerateSmallWorld(*seed)
@@ -104,7 +123,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if _, err := rib.WriteTo(f); err != nil {
+		trunc := plan.Injector(faults.RIBTruncate)
+		corrupt := plan.Injector(faults.RIBCorrupt)
+		if trunc != nil || corrupt != nil {
+			// Render the dump in memory, then replay it through the
+			// rib-truncate / rib-corrupt injectors: a deterministic model
+			// of a cut-off transfer and mangled rows.
+			var buf bytes.Buffer
+			if _, err := rib.WriteTo(&buf); err != nil {
+				f.Close()
+				return err
+			}
+			st, err := faults.MangleLines(f, &buf, trunc, corrupt)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			fmt.Fprintf(stderr, "faults: rib dump mangled: %d lines kept, %d corrupted, truncated=%v\n",
+				st.Lines, st.Corrupted, st.Truncated)
+		} else if _, err := rib.WriteTo(f); err != nil {
 			f.Close()
 			return err
 		}

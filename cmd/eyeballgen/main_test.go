@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,7 +13,7 @@ import (
 
 func TestRunSummary(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -24,7 +26,7 @@ func TestRunSummary(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-list"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -40,7 +42,7 @@ func TestRunRIBDump(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "dump.rib")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-rib", path}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-rib", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -57,7 +59,7 @@ func TestRunRIBDump(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-definitely-not-a-flag"}, &out, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -67,7 +69,7 @@ func TestRunJSONAndSnapshot(t *testing.T) {
 	jsonPath := filepath.Join(dir, "world.json")
 	snapPath := filepath.Join(dir, "world.snap")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-json", jsonPath, "-save", snapPath}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-json", jsonPath, "-save", snapPath}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	j, err := os.ReadFile(jsonPath)
@@ -86,5 +88,85 @@ func TestRunJSONAndSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "snapshot") {
 		t.Error("no snapshot confirmation")
+	}
+}
+
+// TestRunBadInputs drives the user-error paths: unknown flags, bad
+// fault specs, unwritable output paths. All must error, never panic.
+func TestRunBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"faults spec without rate", []string{"-small", "-faults", "nonsense"}},
+		{"faults unknown point", []string{"-small", "-faults", "bogus=0.1"}},
+		{"faults rate out of range", []string{"-small", "-faults", "rib-corrupt=-1"}},
+		{"unwritable rib path", []string{"-small", "-rib", filepath.Join(dir, "no", "dir", "x.rib")}},
+		{"unwritable json path", []string{"-small", "-json", filepath.Join(dir, "no", "dir", "x.json")}},
+		{"unwritable snapshot path", []string{"-small", "-save", filepath.Join(dir, "no", "dir", "x.snap")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(context.Background(), tc.args, io.Discard, io.Discard); err == nil {
+				t.Errorf("run(%q) accepted bad input", tc.args)
+			}
+		})
+	}
+}
+
+// TestRunRIBDumpWithFaults: rib-truncate/rib-corrupt must mangle the
+// dump deterministically — same plan, same bytes — and differ from the
+// clean dump.
+func TestRunRIBDumpWithFaults(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.rib")
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-rib", clean}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	faultArgs := func(path string) []string {
+		return []string{"-small", "-seed", "5", "-rib", path,
+			"-faults", "rib-truncate=0.0005,rib-corrupt=0.02", "-fault-seed", "3"}
+	}
+	m1 := filepath.Join(dir, "m1.rib")
+	m2 := filepath.Join(dir, "m2.rib")
+	var errBuf bytes.Buffer
+	if err := run(context.Background(), faultArgs(m1), io.Discard, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), faultArgs(m2), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same fault plan mangled the dump differently")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("fault plan left the dump untouched")
+	}
+	if !strings.Contains(errBuf.String(), "rib dump mangled") {
+		t.Errorf("no mangle notice on stderr:\n%s", errBuf.String())
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context aborts before any
+// work — the in-process equivalent of SIGINT at startup.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-small"}, io.Discard, io.Discard); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
 	}
 }

@@ -6,23 +6,29 @@
 // Usage:
 //
 //	eyeballkde [-seed N] [-small] [-asn N] [-bw 20,40,60] [-multiscale]
+//	           [-faults spec] [-fault-seed N]
 //	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 //
 // Without -asn, the Figure 1 subject (the largest country-level AS) is
-// analyzed.
+// analyzed. SIGINT/SIGTERM cancel the run: the pipeline and KDE workers
+// stop within one work unit and the process exits non-zero.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"eyeballas"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
 )
@@ -30,12 +36,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballkde: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballkde", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -45,8 +53,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	multiscale := fs.Bool("multiscale", false, "also run the multi-scale PoP refinement")
 	surface := fs.String("surface", "", "write the density surface(s) as gnuplot-ready lon/lat/density rows to this file (one block per bandwidth)")
 	workers := fs.Int("workers", 0, "worker goroutines for the KDE convolution and fan-outs (0 = all CPUs, 1 = serial; output is identical either way)")
+	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
 		return err
 	}
 	reg := obsFlags.Registry()
@@ -57,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
+	defer obsFlags.Finish(stdout, stderr)
 
 	bandwidths, err := parseBandwidths(*bwList)
 	if err != nil {
@@ -65,9 +79,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var env *eyeball.Experiments
 	if *small {
-		env, err = eyeball.NewSmallExperimentsObs(*seed, reg)
+		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan)
 	} else {
-		env, err = eyeball.NewExperimentsObs(*seed, reg)
+		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan)
 	}
 	if err != nil {
 		return err
@@ -90,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "AS %d (%s): %d usable peers, classified %s-level (%s)\n",
 			rec.ASN, a.Name, len(rec.Samples), rec.Class.Level, rec.Class.Place)
 		for _, bw := range bandwidths {
-			fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: *workers, Obs: reg})
+			fp, err := eyeball.EstimateFootprintCtx(ctx, env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: *workers, Obs: reg})
 			if err != nil {
 				return err
 			}
@@ -100,12 +114,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *multiscale {
-		if err := renderMultiScale(stdout, env, subject, *workers, reg); err != nil {
+		if err := renderMultiScale(ctx, stdout, env, subject, *workers, reg); err != nil {
 			return err
 		}
 	}
 	if *surface != "" {
-		if err := writeSurface(*surface, env, subject, bandwidths, *workers, reg); err != nil {
+		if err := writeSurface(ctx, *surface, env, subject, bandwidths, *workers, reg); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote density surface(s) to %s\n", *surface)
@@ -117,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // "lon lat density" rows, with a blank line between grid rows and a
 // double blank line between bandwidth blocks — the format gnuplot's
 // `splot ... with pm3d` consumes, recreating the paper's 3-D Figure 1.
-func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64, workers int, reg *eyeball.Registry) error {
+func writeSurface(ctx context.Context, path string, env *eyeball.Experiments, asn eyeball.ASN, bandwidths []float64, workers int, reg *eyeball.Registry) error {
 	rec := env.Dataset.AS(asn)
 	if rec == nil {
 		return fmt.Errorf("AS %d is not in the target dataset", asn)
@@ -129,7 +143,7 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	defer f.Close()
 	w := bufio.NewWriter(f)
 	for _, bw := range bandwidths {
-		fp, err := eyeball.EstimateFootprint(env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: workers, Obs: reg})
+		fp, err := eyeball.EstimateFootprintCtx(ctx, env.World, rec.Samples, eyeball.FootprintOptions{BandwidthKm: bw, Workers: workers, Obs: reg})
 		if err != nil {
 			return err
 		}
@@ -147,9 +161,9 @@ func writeSurface(path string, env *eyeball.Experiments, asn eyeball.ASN, bandwi
 	return w.Flush()
 }
 
-func renderMultiScale(stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN, workers int, reg *eyeball.Registry) error {
+func renderMultiScale(ctx context.Context, stdout io.Writer, env *eyeball.Experiments, asn eyeball.ASN, workers int, reg *eyeball.Registry) error {
 	rec := env.Dataset.AS(asn)
-	ms, err := eyeball.MultiScaleFootprint(env.World, rec.Samples, eyeball.MultiScaleOptions{
+	ms, err := eyeball.MultiScaleFootprintCtx(ctx, env.World, rec.Samples, eyeball.MultiScaleOptions{
 		Base: eyeball.FootprintOptions{Workers: workers, Obs: reg},
 	})
 	if err != nil {

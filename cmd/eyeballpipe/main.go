@@ -6,17 +6,27 @@
 // Usage:
 //
 //	eyeballpipe [-seed N] [-small] [-minpeers N] [-dump dataset.csv]
+//	            [-faults spec] [-fault-seed N] [-max-geo-miss F] [-max-origin-miss F]
+//	            [-single-db] [-single-db-fallback]
 //	            [-quiet] [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// SIGINT/SIGTERM cancel the run: the pipeline's workers stop within one
+// work unit, the process exits non-zero, and -metrics still writes a
+// partial snapshot of the counters flushed so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"eyeballas"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
 )
@@ -24,12 +34,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeballpipe: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eyeballpipe", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	seed := fs.Uint64("seed", 42, "world and crawl seed")
@@ -39,8 +51,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	dump := fs.String("dump", "", "write the per-AS target dataset as CSV to this file")
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save instead of generating")
 	quiet := fs.Bool("quiet", false, "suppress the one-line funnel summary on stderr")
+	maxGeoMiss := fs.Float64("max-geo-miss", 0, "abort the build when the geolocation miss fraction exceeds this budget (0 disables)")
+	maxOriginMiss := fs.Float64("max-origin-miss", 0, "abort the build when the origin-lookup miss fraction exceeds this budget (0 disables)")
+	singleDB := fs.Bool("single-db", false, "run with the primary geolocation database only (no cross-database error estimates; dataset marked degraded)")
+	singleDBFallback := fs.Bool("single-db-fallback", false, "when exactly one database blows the geo budget, retry with the survivor instead of failing")
+	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
 		return err
 	}
 	reg := obsFlags.Registry() // nil unless an observability flag was given
@@ -51,11 +72,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
+	// Idempotent: on the normal path the explicit Finish below does the
+	// work; on error paths (including cancellation mid-pipeline) this
+	// deferred call still writes a partial -metrics snapshot.
+	defer obsFlags.Finish(stdout, stderr)
 
-	var (
-		w   *eyeball.World
-		err error
-	)
+	var w *eyeball.World
 	switch {
 	case *worldPath != "":
 		f, err2 := os.Open(*worldPath)
@@ -79,9 +101,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg.Workers = *workers
 	cfg.Obs = reg
-	ds, err := eyeball.BuildTargetDatasetWithConfig(w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	cfg.Faults = plan
+	cfg.MaxGeoMissFrac = *maxGeoMiss
+	cfg.MaxOriginMissFrac = *maxOriginMiss
+	cfg.SingleDB = *singleDB
+	cfg.SingleDBFallback = *singleDBFallback
+	ds, err := eyeball.BuildTargetDatasetCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	if err != nil {
 		return err
+	}
+	if ds.Degraded {
+		fmt.Fprintf(stderr, "degraded: %s\n", ds.DegradedReason)
 	}
 	if !*quiet {
 		// The funnel is always built; the summary is the paper's 89.1M →

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,7 +16,7 @@ import (
 
 func TestRunPipeline(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -27,10 +29,10 @@ func TestRunPipeline(t *testing.T) {
 
 func TestRunMinPeersOverride(t *testing.T) {
 	var loose, strict bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-minpeers", "50"}, &loose, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-minpeers", "50"}, &loose, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-small", "-seed", "5", "-minpeers", "2000"}, &strict, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-minpeers", "2000"}, &strict, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(strict.String(), "below 2000 peers") {
@@ -60,7 +62,7 @@ func TestRunDump(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ds.csv")
 	var out bytes.Buffer
-	if err := run([]string{"-small", "-seed", "5", "-dump", path}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-dump", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -94,13 +96,128 @@ func TestRunFromSnapshot(t *testing.T) {
 	f.Close()
 
 	var fromSnap, direct bytes.Buffer
-	if err := run([]string{"-world", snap, "-seed", "5"}, &fromSnap, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-world", snap, "-seed", "5"}, &fromSnap, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-small", "-seed", "5"}, &direct, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-small", "-seed", "5"}, &direct, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if fromSnap.String() != direct.String() {
 		t.Error("pipeline over a snapshot differs from pipeline over the generated world")
+	}
+}
+
+// TestRunBadInputs drives every user-error path through run(): unknown
+// flags, malformed fault specs, unreadable or corrupt input files. Each
+// must surface as a non-nil error, never a panic or a zero exit.
+func TestRunBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.snap")
+	if err := os.WriteFile(corrupt, []byte("not a world snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"faults spec without rate", []string{"-small", "-faults", "nonsense"}},
+		{"faults unknown point", []string{"-small", "-faults", "bogus-point=0.1"}},
+		{"faults rate out of range", []string{"-small", "-faults", "geo-miss=2"}},
+		{"faults rate not a number", []string{"-small", "-faults", "geo-miss=lots"}},
+		{"missing world file", []string{"-world", filepath.Join(dir, "absent.snap")}},
+		{"corrupt world file", []string{"-world", corrupt}},
+		{"unwritable dump path", []string{"-small", "-seed", "5", "-dump", filepath.Join(dir, "no", "such", "dir", "x.csv")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(context.Background(), tc.args, io.Discard, io.Discard); err == nil {
+				t.Errorf("run(%q) accepted bad input", tc.args)
+			}
+		})
+	}
+}
+
+// TestRunFaultsDeterministic: the same -faults spec and -fault-seed must
+// reproduce byte-identical output; a different seed must not.
+func TestRunFaultsDeterministic(t *testing.T) {
+	args := []string{"-small", "-seed", "5", "-faults", "geo-miss=0.1,origin-miss=0.02", "-fault-seed", "7"}
+	var a, b bytes.Buffer
+	if err := run(context.Background(), args, &a, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &b, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same fault plan produced different output")
+	}
+	var c bytes.Buffer
+	other := append(args[:len(args)-1:len(args)-1], "8")
+	if err := run(context.Background(), other, &c, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different fault seed produced identical output")
+	}
+}
+
+// TestRunBudgetExceeded: a fault rate over the configured budget must
+// fail the build with a budget error, not silently degrade.
+func TestRunBudgetExceeded(t *testing.T) {
+	err := run(context.Background(),
+		[]string{"-small", "-seed", "5", "-faults", "geo-miss=0.5", "-max-geo-miss", "0.2"},
+		io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("budget-exceeding run succeeded")
+	}
+	if !strings.Contains(err.Error(), "error budget exceeded") {
+		t.Errorf("error %v does not mention the budget", err)
+	}
+}
+
+// TestRunSingleDBDegraded: -single-db must succeed and announce the
+// degraded dataset on stderr.
+func TestRunSingleDBDegraded(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-single-db"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "degraded:") {
+		t.Errorf("no degraded notice on stderr:\n%s", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "target dataset:") {
+		t.Error("single-db run produced no dataset")
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context must abort the run
+// with ctx.Err() — the in-process equivalent of SIGINT before work
+// starts.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-small", "-seed", "5"}, io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelWritesPartialMetrics: cancellation mid-run must still
+// leave a -metrics snapshot on disk (the deferred idempotent Finish).
+func TestRunCancelWritesPartialMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-small", "-seed", "5", "-metrics", path}, io.Discard, io.Discard); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no partial metrics snapshot: %v", err)
+	}
+	if !bytes.Contains(data, []byte("{")) {
+		t.Errorf("snapshot not JSON: %.60s", data)
 	}
 }

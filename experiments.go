@@ -1,6 +1,8 @@
 package eyeball
 
 import (
+	"context"
+
 	"eyeballas/internal/core"
 	"eyeballas/internal/experiments"
 )
@@ -53,6 +55,9 @@ type (
 	ServicesResult = experiments.Services
 	// CrawlQualityResult sweeps crawl effort end-to-end.
 	CrawlQualityResult = experiments.CrawlQuality
+	// DegradationResult sweeps injected-fault rates and scores how
+	// gracefully the discovered footprints degrade.
+	DegradationResult = experiments.Degradation
 )
 
 // NewExperiments generates the full-scale experimental environment
@@ -96,6 +101,33 @@ func NewPaperScaleExperimentsObs(seed uint64, reg *Registry) (*Experiments, erro
 // (e.g. one loaded from a snapshot with LoadWorld).
 func NewExperimentsWithWorld(w *World, seed uint64, cfg PipelineConfig) (*Experiments, error) {
 	return experiments.NewEnvWithWorld(w, seed, cfg)
+}
+
+// NewExperimentsCtx is NewExperimentsObs with a cancellation context —
+// every worker pool, crawl, and pipeline rebuild the experiments launch
+// observes it (nil means context.Background()) — and an optional
+// fault-injection plan threaded into the pipeline build. A nil plan is
+// the unfaulted, bit-identical default.
+func NewExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
+	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleDefault, reg, plan)
+}
+
+// NewSmallExperimentsCtx is NewExperimentsCtx at test scale.
+func NewSmallExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
+	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleSmall, reg, plan)
+}
+
+// NewPaperScaleExperimentsCtx is NewExperimentsCtx at the paper's
+// population.
+func NewPaperScaleExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
+	return experiments.NewPaperScaleEnvCtx(ctx, seed, reg, plan)
+}
+
+// NewExperimentsWithWorldCtx is NewExperimentsWithWorld with a
+// cancellation context stored on the environment. Fault injection is
+// configured through cfg.Faults.
+func NewExperimentsWithWorldCtx(ctx context.Context, w *World, seed uint64, cfg PipelineConfig) (*Experiments, error) {
+	return experiments.NewEnvWithWorldCtx(ctx, w, seed, cfg)
 }
 
 // RunTable1 profiles the target dataset (paper Table 1).
@@ -159,6 +191,13 @@ func RunDensity(env *Experiments) (*DensityResult, error) { return experiments.R
 // classifier against ground truth.
 func RunServices(env *Experiments) (*ServicesResult, error) { return experiments.RunServices(env) }
 
+// RunDegradation rebuilds the pipeline under injected faults at each
+// rate (nil selects the default sweep) and scores footprint similarity
+// against the environment's clean dataset.
+func RunDegradation(env *Experiments, rates []float64) (*DegradationResult, error) {
+	return experiments.RunDegradation(env, rates)
+}
+
 // RunCrawlQuality reruns the pipeline at reduced crawl scales and tracks
 // dataset size and footprint richness; pass nil for the default sweep.
 func RunCrawlQuality(env *Experiments, scales []float64) (*CrawlQualityResult, error) {
@@ -169,4 +208,10 @@ func RunCrawlQuality(env *Experiments, scales []float64) (*CrawlQualityResult, e
 // samples (see core.MultiScaleOptions for knobs).
 func MultiScaleFootprint(w *World, samples []Sample, opts MultiScaleOptions) ([]MultiScalePoP, error) {
 	return core.MultiScaleFootprint(w.Gazetteer, samples, opts)
+}
+
+// MultiScaleFootprintCtx is MultiScaleFootprint with a cancellation
+// context threaded through the per-bandwidth fan-out and each KDE run.
+func MultiScaleFootprintCtx(ctx context.Context, w *World, samples []Sample, opts MultiScaleOptions) ([]MultiScalePoP, error) {
+	return core.MultiScaleFootprintCtx(ctx, w.Gazetteer, samples, opts)
 }

@@ -25,12 +25,14 @@
 package eyeball
 
 import (
+	"context"
 	"io"
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/bgp"
 	"eyeballas/internal/core"
 	"eyeballas/internal/experiments"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/obs"
@@ -86,6 +88,16 @@ type (
 	// pipeline build (Dataset.Funnel).
 	FunnelReport = obs.Funnel
 
+	// FaultPlan is a seed-deterministic fault-injection plan; assign one
+	// to PipelineConfig.Faults / CrawlConfig.Faults to degrade the
+	// measurement inputs reproducibly. A nil plan disables injection and
+	// is bit-identical to running without one.
+	FaultPlan = faults.Plan
+	// BudgetError reports a pipeline build aborted because a stage's
+	// error budget was exceeded (PipelineConfig.MaxGeoMissFrac /
+	// MaxOriginMissFrac); detect it with errors.As.
+	BudgetError = pipeline.BudgetError
+
 	// Experiments bundles everything needed to regenerate the paper's
 	// tables and figures; see the experiment runner functions below.
 	Experiments = experiments.Env
@@ -131,14 +143,22 @@ func GenerateWorldWithConfig(cfg WorldConfig) (*World, error) {
 // every peer with two synthetic databases, group peers by AS via
 // synthetic BGP tables, and condition with the §2/§3.1 filters.
 func BuildTargetDataset(w *World, seed uint64) (*Dataset, error) {
-	ds, _, err := pipeline.Run(w, p2p.DefaultConfig(), pipeline.DefaultConfig(), seed)
+	ds, _, err := pipeline.Run(context.Background(), w, p2p.DefaultConfig(), pipeline.DefaultConfig(), seed)
 	return ds, err
 }
 
 // BuildTargetDatasetWithConfig is BuildTargetDataset with explicit crawl
 // and conditioning parameters.
 func BuildTargetDatasetWithConfig(w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, error) {
-	ds, _, err := pipeline.Run(w, crawlCfg, cfg, seed)
+	ds, _, err := pipeline.Run(context.Background(), w, crawlCfg, cfg, seed)
+	return ds, err
+}
+
+// BuildTargetDatasetCtx is BuildTargetDatasetWithConfig with a
+// cancellation context: crawl, geolocation workers, and conditioning all
+// stop within one work unit of ctx being cancelled, returning ctx.Err().
+func BuildTargetDatasetCtx(ctx context.Context, w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, error) {
+	ds, _, err := pipeline.Run(ctx, w, crawlCfg, cfg, seed)
 	return ds, err
 }
 
@@ -146,6 +166,20 @@ func BuildTargetDatasetWithConfig(w *World, crawlCfg CrawlConfig, cfg PipelineCo
 // samples against the world's geography.
 func EstimateFootprint(w *World, samples []Sample, opts FootprintOptions) (*Footprint, error) {
 	return core.EstimateFootprint(w.Gazetteer, samples, opts)
+}
+
+// EstimateFootprintCtx is EstimateFootprint with a cancellation
+// context: the KDE convolution workers stop within one block of ctx
+// being cancelled, returning ctx.Err().
+func EstimateFootprintCtx(ctx context.Context, w *World, samples []Sample, opts FootprintOptions) (*Footprint, error) {
+	return core.EstimateFootprintCtx(ctx, w.Gazetteer, samples, opts)
+}
+
+// ParseFaultSpec parses a comma-separated point=rate fault spec (e.g.
+// "geo-miss=0.05,origin-miss=0.01") into a plan rooted at seed. An
+// empty spec returns a nil plan: injection fully disabled.
+func ParseFaultSpec(spec string, seed uint64) (*FaultPlan, error) {
+	return faults.ParseSpec(spec, seed)
 }
 
 // ClassifyLevel applies the §2 classification rule (> 95% containment).

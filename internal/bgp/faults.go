@@ -1,0 +1,59 @@
+package bgp
+
+import (
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/faults"
+	"eyeballas/internal/ipnet"
+)
+
+// WithFaults wraps a Resolver with the plan's origin-miss injector:
+// lookups at hit IPs answer "no matching prefix", modelling an
+// incomplete RIB (a table missing the covering prefix for part of the
+// address space). Decisions are keyed by the IP, so the same plan
+// always loses the same addresses regardless of lookup order or worker
+// count.
+//
+// When the inner resolver also implements CheckedResolver the wrapper
+// does too, forwarding errors unchanged, so the pipeline's type
+// assertion keeps working through the wrap. A nil plan or a zero
+// origin-miss rate returns the inner resolver unchanged — zero faults
+// is the literal same Resolver.
+func WithFaults(r Resolver, plan *faults.Plan) Resolver {
+	inj := plan.Injector(faults.OriginMiss)
+	if inj == nil {
+		return r
+	}
+	f := &faultyResolver{inner: r, miss: inj}
+	if cr, ok := r.(CheckedResolver); ok {
+		return &checkedFaultyResolver{faultyResolver: f, checked: cr}
+	}
+	return f
+}
+
+// faultyResolver injects origin-lookup misses in front of an infallible
+// resolver.
+type faultyResolver struct {
+	inner Resolver
+	miss  *faults.Injector
+}
+
+func (f *faultyResolver) OriginOf(a ipnet.Addr) (astopo.ASN, bool) {
+	if f.miss.Hit(uint64(a)) {
+		return 0, false
+	}
+	return f.inner.OriginOf(a)
+}
+
+// checkedFaultyResolver additionally forwards the checked path, so a
+// wrapped CheckedResolver still surfaces lookup errors.
+type checkedFaultyResolver struct {
+	*faultyResolver
+	checked CheckedResolver
+}
+
+func (f *checkedFaultyResolver) OriginOfChecked(a ipnet.Addr) (astopo.ASN, bool, error) {
+	if f.miss.Hit(uint64(a)) {
+		return 0, false, nil
+	}
+	return f.checked.OriginOfChecked(a)
+}

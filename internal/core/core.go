@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -109,8 +110,17 @@ type PeakGeo struct {
 	Value float64
 }
 
-// EstimateFootprint runs the §3–§4 procedure for one AS.
+// EstimateFootprint runs the §3–§4 procedure for one AS. It is
+// EstimateFootprintCtx under context.Background() — the signature every
+// experiment and example uses when cancellation is not in play.
 func EstimateFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts Options) (*Footprint, error) {
+	return EstimateFootprintCtx(context.Background(), gaz, samples, opts)
+}
+
+// EstimateFootprintCtx is EstimateFootprint with cooperative
+// cancellation: ctx is observed at the KDE convolution's block
+// boundaries, and a cancelled run returns ctx.Err() with no footprint.
+func EstimateFootprintCtx(ctx context.Context, gaz *gazetteer.Gazetteer, samples []Sample, opts Options) (*Footprint, error) {
 	o := opts.withDefaults()
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no samples")
@@ -123,7 +133,7 @@ func EstimateFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts Options)
 	proj := geo.NewProjection(centroid)
 	xys := proj.ProjectAll(pts)
 
-	g, err := kde.Estimate(xys, kde.Options{
+	g, err := kde.Estimate(ctx, xys, kde.Options{
 		BandwidthKm: o.BandwidthKm,
 		CellKm:      o.CellKm,
 		Workers:     o.Workers,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -74,8 +75,16 @@ type MultiScalePoP struct {
 }
 
 // MultiScaleFootprint runs the refinement. The result is ordered by
-// density descending, like a single-scale PoP list.
+// density descending, like a single-scale PoP list. It is
+// MultiScaleFootprintCtx under context.Background().
 func MultiScaleFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts MultiScaleOptions) ([]MultiScalePoP, error) {
+	return MultiScaleFootprintCtx(context.Background(), gaz, samples, opts)
+}
+
+// MultiScaleFootprintCtx is MultiScaleFootprint with cooperative
+// cancellation: ctx bounds both the per-bandwidth fan-out and each
+// inner KDE convolution; a cancelled run returns ctx.Err().
+func MultiScaleFootprintCtx(ctx context.Context, gaz *gazetteer.Gazetteer, samples []Sample, opts MultiScaleOptions) ([]MultiScalePoP, error) {
 	o := opts.withDefaults()
 	bws := append([]float64(nil), o.Bandwidths...)
 	sort.Float64s(bws)
@@ -88,10 +97,10 @@ func MultiScaleFootprint(gaz *gazetteer.Gazetteer, samples []Sample, opts MultiS
 	// still honors o.Base.Workers for its own convolution, so the same
 	// knob bounds both levels of the fan-out.
 	fpList := make([]*Footprint, len(bws))
-	err := parallel.ForEach(o.Base.Workers, bws, func(i int, bw float64) error {
+	err := parallel.ForEach(ctx, o.Base.Workers, bws, func(i int, bw float64) error {
 		base := o.Base
 		base.BandwidthKm = bw
-		fp, err := EstimateFootprint(gaz, samples, base)
+		fp, err := EstimateFootprintCtx(ctx, gaz, samples, base)
 		if err != nil {
 			return fmt.Errorf("core: multiscale bw %.0f: %w", bw, err)
 		}

@@ -57,7 +57,7 @@ func RunBias(env *Env) (*Bias, error) {
 		trials    int
 	}
 	rows := make([]row, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		src := rng.New(env.Seed).SplitN("bias", int(asn))
 		base, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})

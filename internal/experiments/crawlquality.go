@@ -56,7 +56,7 @@ func RunCrawlQuality(env *Env, scales []float64) (*CrawlQuality, error) {
 		}
 		crawlCfg := p2p.DefaultConfig()
 		crawlCfg.Scale *= scale
-		ds, crawl, err := pipeline.Run(env.World, crawlCfg, pipeCfg, env.Seed+7777)
+		ds, crawl, err := pipeline.Run(env.ctx(), env.World, crawlCfg, pipeCfg, env.Seed+7777)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func RunCrawlQuality(env *Env, scales []float64) (*CrawlQuality, error) {
 				return 0, nil
 			}
 			totals := make([]int, len(asns))
-			err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+			err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 				rec := lookup.AS(asn)
 				fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 				if err != nil {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDegradationZeroRateIdentical: the r = 0 row must rebuild the
+// baseline dataset exactly — a plan with all-zero rates is provably a
+// no-op through crawl, geolocation, and origin lookup.
+func TestRunDegradationZeroRateIdentical(t *testing.T) {
+	env := sharedEnv(t)
+	d, err := RunDegradation(env, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ZeroRateIdentical {
+		t.Fatal("zero-rate rebuild differs from the baseline dataset")
+	}
+	r := d.Rates[0]
+	if r.ASes != d.BaselineASes || r.Peers != d.BaselinePeers {
+		t.Fatalf("zero-rate profile %d/%d, baseline %d/%d",
+			r.ASes, r.Peers, d.BaselineASes, d.BaselinePeers)
+	}
+	if r.ASRetention != 1 {
+		t.Errorf("zero-rate retention %.3f, want 1", r.ASRetention)
+	}
+	// The degraded footprints ARE the baseline footprints.
+	if r.MeanCoverage < 0.999 || r.MeanPrecision < 0.999 {
+		t.Errorf("zero-rate coverage %.3f precision %.3f, want 1", r.MeanCoverage, r.MeanPrecision)
+	}
+}
+
+// TestRunDegradationGraceful: moderate fault rates must degrade the
+// footprints gradually — coverage stays high at small rates and never
+// collapses to zero even at 20%.
+func TestRunDegradationGraceful(t *testing.T) {
+	env := sharedEnv(t)
+	d, err := RunDegradation(env, []float64{0.02, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := d.Rates[0], d.Rates[1]
+	if low.MeanCoverage < 0.8 {
+		t.Errorf("2%% faults dropped coverage to %.3f — not graceful", low.MeanCoverage)
+	}
+	if high.MeanCoverage <= 0.3 {
+		t.Errorf("20%% faults collapsed coverage to %.3f", high.MeanCoverage)
+	}
+	if high.Peers >= low.Peers {
+		t.Errorf("peers did not shrink with the fault rate: %d at 2%%, %d at 20%%", low.Peers, high.Peers)
+	}
+	// Render sanity.
+	out := d.Render()
+	for _, want := range []string{"Graceful degradation", "coverage", "2%", "20%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(d.CSV(), "rate,ases,peers,") {
+		t.Errorf("CSV header wrong: %.60s", d.CSV())
+	}
+}

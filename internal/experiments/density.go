@@ -33,7 +33,7 @@ func RunDensity(env *Env) (*Density, error) {
 		ok    bool
 	}
 	rows := make([]row, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		a := env.World.AS(asn)
 		if a == nil || len(a.UserPoPs()) < 3 {
 			return nil // rank correlation needs at least 3 points

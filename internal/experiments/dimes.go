@@ -50,7 +50,7 @@ func RunDIMES(env *Env) (*DIMES, error) {
 		superset   bool
 	}
 	results := make([]cmp, len(common))
-	err := parallel.ForEach(0, common, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, common, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		observed := tracePoPs[asn]
 		fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{BandwidthKm: d.BandwidthKm})

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/bgp"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/ixp"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
@@ -42,6 +44,22 @@ type Env struct {
 	Reference *refdata.Reference
 	IXPData   *ixp.Dataset
 	Traces    []traceroute.Trace
+	// PipeCfg is the pipeline configuration the Dataset was built with,
+	// kept so experiments that rebuild the pipeline (stability,
+	// degradation) reuse the same thresholds.
+	PipeCfg pipeline.Config
+	// Ctx, when non-nil, cancels every experiment runner's worker pools
+	// and pipeline rebuilds (the CLIs set it to their signal context).
+	// Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the environment's cancellation context.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // NewEnv generates the full experimental environment.
@@ -54,6 +72,15 @@ func NewEnv(seed uint64, scale Scale) (*Env, error) {
 // per-dataset build spans). A nil registry is the disabled state and
 // changes nothing about the generated environment.
 func NewEnvObs(seed uint64, scale Scale, reg *obs.Registry) (*Env, error) {
+	return NewEnvCtx(nil, seed, scale, reg, nil)
+}
+
+// NewEnvCtx is NewEnvObs with a cancellation context stored on the
+// environment — every worker pool, crawl, and pipeline rebuild the
+// experiments launch observes it (nil means context.Background()) —
+// and an optional fault-injection plan threaded into the pipeline
+// build. A nil plan is the unfaulted, bit-identical default.
+func NewEnvCtx(ctx context.Context, seed uint64, scale Scale, reg *obs.Registry, plan *faults.Plan) (*Env, error) {
 	var cfg astopo.Config
 	var pipeCfg pipeline.Config
 	switch scale {
@@ -68,13 +95,14 @@ func NewEnvObs(seed uint64, scale Scale, reg *obs.Registry) (*Env, error) {
 		return nil, fmt.Errorf("experiments: unknown scale %d", scale)
 	}
 	pipeCfg.Obs = reg
+	pipeCfg.Faults = plan
 	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(cfg)
 	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	return NewEnvWithWorld(w, seed, pipeCfg)
+	return NewEnvWithWorldCtx(ctx, w, seed, pipeCfg)
 }
 
 // NewPaperScaleEnv generates the environment at the paper's population
@@ -87,6 +115,12 @@ func NewPaperScaleEnv(seed uint64) (*Env, error) {
 // NewPaperScaleEnvObs is NewPaperScaleEnv with an observability
 // registry.
 func NewPaperScaleEnvObs(seed uint64, reg *obs.Registry) (*Env, error) {
+	return NewPaperScaleEnvCtx(nil, seed, reg, nil)
+}
+
+// NewPaperScaleEnvCtx is NewPaperScaleEnvObs with a cancellation
+// context stored on the environment and an optional fault plan.
+func NewPaperScaleEnvCtx(ctx context.Context, seed uint64, reg *obs.Registry, plan *faults.Plan) (*Env, error) {
 	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(astopo.PaperConfig(seed))
 	genSpan.End()
@@ -95,22 +129,29 @@ func NewPaperScaleEnvObs(seed uint64, reg *obs.Registry) (*Env, error) {
 	}
 	pipeCfg := pipeline.PaperConfig()
 	pipeCfg.Obs = reg
-	return NewEnvWithWorld(w, seed, pipeCfg)
+	pipeCfg.Faults = plan
+	return NewEnvWithWorldCtx(ctx, w, seed, pipeCfg)
 }
 
 // NewEnvWithWorld builds the measurement environment over an existing
 // world — typically one loaded from a snapshot — with explicit
 // conditioning thresholds.
 func NewEnvWithWorld(w *astopo.World, seed uint64, pipeCfg pipeline.Config) (*Env, error) {
+	return NewEnvWithWorldCtx(nil, w, seed, pipeCfg)
+}
+
+// NewEnvWithWorldCtx is NewEnvWithWorld with a cancellation context
+// stored on the environment (nil means context.Background()).
+func NewEnvWithWorldCtx(ctx context.Context, w *astopo.World, seed uint64, pipeCfg pipeline.Config) (*Env, error) {
 	reg := pipeCfg.Obs
 	span := reg.StartSpan("experiments.env")
 	defer span.End()
-	env := &Env{Seed: seed, World: w}
+	env := &Env{Seed: seed, World: w, PipeCfg: pipeCfg, Ctx: ctx}
 	routingSpan := span.Child("routing")
 	env.Routing = bgp.ComputeRouting(w)
 	routingSpan.End()
 	var err error
-	env.Dataset, env.Crawl, err = pipeline.Run(w, p2p.DefaultConfig(), pipeCfg, seed)
+	env.Dataset, env.Crawl, err = pipeline.Run(env.ctx(), w, p2p.DefaultConfig(), pipeCfg, seed)
 	if err != nil {
 		return nil, err
 	}

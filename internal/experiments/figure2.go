@@ -66,7 +66,7 @@ func RunFigure2(env *Env, bandwidths []float64) (*Figure2, error) {
 
 	for _, bw := range bandwidths {
 		matches := make([]core.MatchResult, len(f.ASNs))
-		err := parallel.ForEach(0, f.ASNs, func(i int, asn astopo.ASN) error {
+		err := parallel.ForEach(env.ctx(), 0, f.ASNs, func(i int, asn astopo.ASN) error {
 			rec := env.Dataset.AS(asn)
 			fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{BandwidthKm: bw})
 			if err != nil {

@@ -48,7 +48,7 @@ func RunFusion(env *Env) (*Fusion, error) {
 	// Footprints first (parallel), so the targeted campaign can aim at
 	// the discovered PoP cities.
 	footprints := make([][]core.PoP, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 		if err != nil {

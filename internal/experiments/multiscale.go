@@ -41,7 +41,7 @@ func RunMultiScale(env *Env) (*MultiScale, error) {
 		n40, n10, nMS                               int
 	}
 	rows := make([]row, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		ref := env.Reference.Locations(asn)
 

@@ -68,7 +68,7 @@ func RunPredict(env *Env) (*Predict, error) {
 		ok               bool
 	}
 	rows := make([]row, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		rec := env.Dataset.AS(asn)
 		fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 		if err != nil {

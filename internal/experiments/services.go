@@ -63,7 +63,7 @@ func RunServices(env *Env) (*Services, error) {
 		isContent, predContent, ok bool
 	}
 	rows := make([]row, len(asns))
-	err := parallel.ForEach(0, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(env.ctx(), 0, asns, func(i int, asn astopo.ASN) error {
 		a := env.World.AS(asn)
 		if a == nil || (a.Kind != astopo.KindEyeball && a.Kind != astopo.KindContent) {
 			return nil

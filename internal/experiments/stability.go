@@ -46,7 +46,7 @@ func RunStability(env *Env, months int) (*Stability, error) {
 	}
 	datasets := make([]*pipeline.Dataset, months)
 	for m := 0; m < months; m++ {
-		ds, _, err := pipeline.Run(env.World, p2p.DefaultConfig(), pipeCfg, env.Seed+uint64(1000+m))
+		ds, _, err := pipeline.Run(env.ctx(), env.World, p2p.DefaultConfig(), pipeCfg, env.Seed+uint64(1000+m))
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +81,7 @@ func RunStability(env *Env, months int) (*Stability, error) {
 	popSets := make([]map[astopo.ASN]map[string]bool, months)
 	for m, ds := range datasets {
 		sets := make([]map[string]bool, len(common))
-		err := parallel.ForEach(0, common, func(i int, asn astopo.ASN) error {
+		err := parallel.ForEach(env.ctx(), 0, common, func(i int, asn astopo.ASN) error {
 			rec := ds.AS(asn)
 			fp, err := core.EstimateFootprint(env.World.Gazetteer, rec.Samples, core.Options{})
 			if err != nil {

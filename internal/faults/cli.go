@@ -1,0 +1,37 @@
+package faults
+
+import "flag"
+
+// CLIFlags bundles the two fault-injection flags every CLI exposes:
+//
+//	-faults <spec>    comma-separated point=rate entries, e.g.
+//	                  "geo-miss=0.05,origin-miss=0.01" (empty disables
+//	                  injection entirely — the zero-cost default)
+//	-fault-seed <N>   the plan seed: same spec + same seed = the same
+//	                  injected faults, regardless of worker count
+//
+// Usage: BindCLIFlags(fs) before fs.Parse; after parsing, Plan()
+// returns the parsed plan (nil when -faults was not given).
+type CLIFlags struct {
+	spec string
+	seed uint64
+}
+
+// BindCLIFlags registers -faults and -fault-seed on fs.
+func BindCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.StringVar(&c.spec, "faults", "",
+		"inject deterministic faults: comma-separated point=rate entries (e.g. geo-miss=0.05,origin-miss=0.01); empty disables injection")
+	fs.Uint64Var(&c.seed, "fault-seed", 1,
+		"seed for the fault-injection plan; the same -faults spec and seed reproduce the exact same failures")
+	return c
+}
+
+// Plan parses the -faults spec into a plan rooted at -fault-seed. An
+// empty spec returns (nil, nil): injection fully disabled.
+func (c *CLIFlags) Plan() (*Plan, error) {
+	if c == nil {
+		return nil, nil
+	}
+	return ParseSpec(c.spec, c.seed)
+}

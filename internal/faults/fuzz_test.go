@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec hammers the -faults flag parser: it must never panic,
+// and every accepted spec must round-trip through the canonical String
+// form with identical rates (the property the CLIs rely on when they
+// echo the active plan). Run continuously in CI as a 10s smoke.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("geo-miss=0.05")
+	f.Add("geo-miss=0.05,origin-miss=0.01")
+	f.Add("crawl-loss=1,crawl-dup=0")
+	f.Add("")
+	f.Add(" , ,")
+	f.Add("worker-panic=1e-3")
+	f.Add("geo-miss=0x1p-4")
+	f.Add("rib-truncate=0.5,rib-truncate=0.1")
+	f.Add("geo-miss=NaN")
+	f.Add("geo-miss==0.5")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec, 42)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("error %v but non-nil plan", err)
+			}
+			return
+		}
+		// Accepted: all rates must be valid probabilities …
+		if p == nil {
+			return // empty spec
+		}
+		for _, pt := range Points {
+			r := p.Rate(pt)
+			if !(r >= 0 && r <= 1) {
+				t.Fatalf("accepted spec %q yields rate %v for %s", spec, r, pt)
+			}
+		}
+		// … and the canonical form must reparse to identical rates.
+		canon := p.String()
+		q, err := ParseSpec(canon, 42)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) rejected: %v", canon, spec, err)
+		}
+		for _, pt := range Points {
+			var qr float64
+			if q != nil {
+				qr = q.Rate(pt)
+			}
+			if qr != p.Rate(pt) {
+				t.Fatalf("round trip of %q changed %s: %v -> %v", spec, pt, p.Rate(pt), qr)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"bufio"
+	"io"
+)
+
+// MangleStats reports what MangleLines did to a stream.
+type MangleStats struct {
+	Lines     int  // lines copied to dst (including corrupted ones)
+	Corrupted int  // lines mangled by the rib-corrupt injector
+	Truncated bool // the stream was cut off by the rib-truncate injector
+}
+
+// MangleLines copies src to dst line by line, injecting the RIB-dump
+// fault points: when trunc fires at a line index the copy stops there
+// (the remainder of the stream is lost, modelling a truncated transfer
+// or a partially-written dump), and when corrupt fires the line is
+// deterministically mangled (separator removed, tail chopped, or a
+// garbage field appended — the corruption modes bgp.ReadRIB must
+// reject or survive).
+//
+// Header lines (starting with '#') are exempt from corruption so the
+// entries= row-count declaration survives — which is exactly what lets
+// the reader detect a truncated body. Sites are line indexes, so the
+// same (plan, input) pair always mangles the same lines.
+func MangleLines(dst io.Writer, src io.Reader, trunc, corrupt *Injector) (MangleStats, error) {
+	var st MangleStats
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	bw := bufio.NewWriter(dst)
+	for i := 0; sc.Scan(); i++ {
+		line := sc.Text()
+		if trunc.Hit(uint64(i)) {
+			st.Truncated = true
+			break
+		}
+		if len(line) > 0 && line[0] != '#' && corrupt.Hit(uint64(i)) {
+			line = corruptLine(line, corrupt.Rand(uint64(i)))
+			st.Corrupted++
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return st, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return st, err
+		}
+		st.Lines++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	return st, bw.Flush()
+}
+
+// corruptLine applies one of three deterministic mutations.
+func corruptLine(line string, r uint64) string {
+	switch r % 3 {
+	case 0: // chop the tail mid-field
+		return line[:len(line)-(len(line)/2)-1]
+	case 1: // strip every separator
+		out := make([]byte, 0, len(line))
+		for i := 0; i < len(line); i++ {
+			if line[i] != '|' {
+				out = append(out, line[i])
+			}
+		}
+		return string(out)
+	default: // append a non-numeric garbage field
+		return line + " xx"
+	}
+}

@@ -1,0 +1,85 @@
+package geodb
+
+import (
+	"hash/fnv"
+	"math"
+
+	"eyeballas/internal/faults"
+	"eyeballas/internal/geo"
+	"eyeballas/internal/ipnet"
+)
+
+// WithFaults returns a copy of the database with fault injectors from
+// the plan attached. missPoint selects which per-database miss knob
+// applies on top of the shared faults.GeoMiss — faults.GeoMissA for the
+// primary database, faults.GeoMissB for the secondary — so scenarios
+// can degrade one database while leaving the other intact (the
+// single-DB-fallback drill). faults.GeoGarbage and faults.GeoNaN apply
+// to every faulted database.
+//
+// Injection decisions are keyed by (database name, IP): the same plan
+// makes the two databases miss on independent IP sets, exactly like two
+// vendors' independent coverage gaps. A nil plan (or all-zero rates)
+// returns the receiver unchanged — zero faults means the literal same
+// *DB, so the unfaulted path is provably untouched.
+func (db *DB) WithFaults(plan *faults.Plan, missPoint faults.Point) *DB {
+	if plan == nil || !plan.Enabled() {
+		return db
+	}
+	missBoth := plan.Injector(faults.GeoMiss)
+	missOnly := plan.Injector(missPoint)
+	garbage := plan.Injector(faults.GeoGarbage)
+	nan := plan.Injector(faults.GeoNaN)
+	if missBoth == nil && missOnly == nil && garbage == nil && nan == nil {
+		return db
+	}
+	cp := *db
+	h := fnv.New64a()
+	h.Write([]byte(db.Name))
+	cp.faultSalt = h.Sum64()
+	cp.injMissBoth = missBoth
+	cp.injMissOnly = missOnly
+	cp.injGarbage = garbage
+	cp.injNaN = nan
+	return &cp
+}
+
+// injectFault applies the database's fault injectors for one IP,
+// before the synthetic error model runs. The precedence is
+// miss > NaN > garbage: a missing record preempts everything (there is
+// nothing left to corrupt), and a NaN-zip row is a strictly worse
+// corruption than out-of-range coordinates.
+func (db *DB) injectFault(ip ipnet.Addr) (Record, bool) {
+	site := uint64(ip)
+	if db.injMissBoth.Hit2(site, db.faultSalt) || db.injMissOnly.Hit2(site, db.faultSalt) {
+		return Record{}, true // no city-level record
+	}
+	if db.injNaN.Hit2(site, db.faultSalt) {
+		// A corrupt zip-centroid row: the database answers, but its
+		// coordinates are NaN. HasCity is true — the corruption is only
+		// detectable by inspecting the coordinates, which is the point.
+		return Record{
+			City: "nan-zip", Country: "XX", HasCity: true,
+			Loc: geo.Point{Lat: math.NaN(), Lon: math.NaN()},
+		}, true
+	}
+	if db.injGarbage.Hit2(site, db.faultSalt) {
+		// A wildly-wrong entry: plausible labels, impossible coordinates.
+		// The payload bits pick which out-of-range corner, so different
+		// IPs get different garbage (and the same IP always the same).
+		r := db.injGarbage.Rand(site ^ db.faultSalt)
+		lat := 91 + float64(r%8000)/10       // 91 .. 891
+		lon := 181 + float64(r>>32%16000)/10 // 181 .. 1781
+		if r&1 == 0 {
+			lat = -lat
+		}
+		if r&2 == 0 {
+			lon = -lon
+		}
+		return Record{
+			City: "garbage", Country: "XX", HasCity: true,
+			Loc: geo.Point{Lat: lat, Lon: lon},
+		}, true
+	}
+	return Record{}, false
+}

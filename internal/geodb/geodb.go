@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 
 	"eyeballas/internal/astopo"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/ipnet"
@@ -72,6 +73,14 @@ type DB struct {
 	// regionCities caches per-region city lists for the far-outlier
 	// mode; rebuilding them per lookup would dominate that path.
 	regionCities map[gazetteer.Region][]gazetteer.City
+
+	// Fault injection (see WithFaults). All nil on an unfaulted
+	// database, where Locate pays exactly four nil checks.
+	faultSalt   uint64
+	injMissBoth *faults.Injector
+	injMissOnly *faults.Injector
+	injGarbage  *faults.Injector
+	injNaN      *faults.Injector
 }
 
 // New builds a database over the world's geography. The name seeds the
@@ -114,6 +123,11 @@ func NewIPLoc(w *astopo.World) *DB {
 // (user surveys, registry data — §4.3); a real database file is a frozen
 // function of the same information.
 func (db *DB) Locate(ip ipnet.Addr, trueLoc geo.Point) Record {
+	if db.injMissBoth != nil || db.injMissOnly != nil || db.injGarbage != nil || db.injNaN != nil {
+		if rec, injected := db.injectFault(ip); injected {
+			return rec
+		}
+	}
 	s := &miniRNG{state: db.seed ^ (uint64(ip) * 0x9e3779b97f4a7c15)}
 	m := db.model
 	roll := s.float64()

@@ -1,6 +1,7 @@
 package geodb
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -28,7 +29,7 @@ func testSetup(t testing.TB) (*astopo.World, []p2p.Peer) {
 			shared.err = err
 			return
 		}
-		c, err := p2p.Run(w, p2p.DefaultConfig(), rng.New(51).Split("p2p"))
+		c, err := p2p.Run(context.Background(), w, p2p.DefaultConfig(), rng.New(51).Split("p2p"))
 		if err != nil {
 			shared.err = err
 			return

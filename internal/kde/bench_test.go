@@ -1,6 +1,7 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -27,7 +28,7 @@ func BenchmarkEstimate(b *testing.B) {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Estimate(samples, Options{BandwidthKm: 40}); err != nil {
+				if _, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -59,7 +60,7 @@ func benchWideSamples(n int, spanKm float64) []geo.XY {
 // wall clock should move.
 func BenchmarkEstimateParallel(b *testing.B) {
 	samples := benchWideSamples(50000, 13000)
-	g, err := Estimate(samples, Options{BandwidthKm: 40, Workers: 1})
+	g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func BenchmarkEstimateParallel(b *testing.B) {
 			b.ReportAllocs()
 			b.ReportMetric(float64(g.W*g.H), "cells")
 			for i := 0; i < b.N; i++ {
-				if _, err := Estimate(samples, Options{BandwidthKm: 40, Workers: w}); err != nil {
+				if _, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -92,7 +93,7 @@ func BenchmarkEstimateObs(b *testing.B) {
 	reg := obs.New()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(samples, Options{BandwidthKm: 40, Obs: reg}); err != nil {
+		if _, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Obs: reg}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func BenchmarkEstimateFineGrid(b *testing.B) {
 	samples := benchSamples(10000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(samples, Options{BandwidthKm: 10}); err != nil {
+		if _, err := Estimate(context.Background(), samples, Options{BandwidthKm: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

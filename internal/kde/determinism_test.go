@@ -1,6 +1,7 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -36,7 +37,7 @@ func determinismSamples(n int, spreadKm float64) []geo.XY {
 // reordering.
 func TestEstimateDeterministicAcrossWorkers(t *testing.T) {
 	samples := determinismSamples(20000, 2000)
-	ref, err := Estimate(samples, Options{BandwidthKm: 40, Workers: 1})
+	ref, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestEstimateDeterministicAcrossWorkers(t *testing.T) {
 	}
 	for _, workers := range []int{2, 3, 8, 64} {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-			g, err := Estimate(samples, Options{BandwidthKm: 40, Workers: workers})
+			g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,12 +72,12 @@ func TestEstimateDeterministicFineGrid(t *testing.T) {
 	opts := Options{BandwidthKm: 15, CellKm: 3}
 	o1 := opts
 	o1.Workers = 1
-	ref, err := Estimate(samples, o1)
+	ref, err := Estimate(context.Background(), samples, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	oN := opts // Workers = 0 → GOMAXPROCS
-	g, err := Estimate(samples, oN)
+	g, err := Estimate(context.Background(), samples, oN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEstimateDeterministicFineGrid(t *testing.T) {
 // worker count.
 func TestEstimateDeterministicUnderRegistry(t *testing.T) {
 	samples := determinismSamples(20000, 2000)
-	ref, err := Estimate(samples, Options{BandwidthKm: 40, Workers: 1})
+	ref, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestEstimateDeterministicUnderRegistry(t *testing.T) {
 			reg := obs.New()
 			parallel.SetMetrics(parallel.MetricsFrom(reg))
 			defer parallel.SetMetrics(nil)
-			g, err := Estimate(samples, Options{BandwidthKm: 40, Workers: workers, Obs: reg})
+			g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 40, Workers: workers, Obs: reg})
 			if err != nil {
 				t.Fatal(err)
 			}

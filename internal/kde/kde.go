@@ -11,6 +11,7 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,7 +81,11 @@ func (o Options) withDefaults() (Options, error) {
 // relative comparisons such as the paper's α·Dmax peak threshold are
 // normalization-independent. It returns an error for an empty sample set,
 // an invalid bandwidth, or a domain exceeding Options.MaxCells.
-func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
+//
+// Cancellation: ctx is observed at the convolution's block boundaries
+// (the only expensive part); a cancelled estimate returns ctx.Err() and
+// the partial surface is discarded. A nil ctx means context.Background().
+func Estimate(ctx context.Context, samples []geo.XY, opts Options) (*grid.Grid, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -128,7 +133,9 @@ func Estimate(samples []geo.XY, opts Options) (*grid.Grid, error) {
 	}
 	binSpan.End()
 
-	blurSeparable(g, o.BandwidthKm, o.TruncSigma, o.Workers, span)
+	if err := blurSeparable(ctx, g, o.BandwidthKm, o.TruncSigma, o.Workers, span); err != nil {
+		return nil, err
+	}
 
 	// counts → density: divide by N·cell² so the surface integrates to 1.
 	g.Scale(1 / (float64(len(samples)) * o.CellKm * o.CellKm))
@@ -157,8 +164,10 @@ func clamp(v, lo, hi int) int {
 // decomposition is a fixed function of the grid dimensions, so the result
 // is byte-identical for every worker count — including workers == 1,
 // which runs inline with zero synchronization. parent (nil when
-// disabled) receives one child span per pass.
-func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int, parent *obs.Span) {
+// disabled) receives one child span per pass. A cancelled ctx stops the
+// fan-out at a block boundary and surfaces ctx.Err(); the grid is then
+// partially blurred and must be discarded by the caller.
+func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma float64, workers int, parent *obs.Span) error {
 	radius := int(math.Ceil(truncSigma * bandwidthKm / g.Cell))
 	kernel := make([]float64, 2*radius+1)
 	sum := 0.0
@@ -175,7 +184,7 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int, p
 	// Horizontal pass: each row of g.Data convolves into the same row of
 	// tmp; rows in a block are processed in order, blocks never overlap.
 	hSpan := parent.Child("blur_horizontal")
-	_ = parallel.Blocks(workers, g.H, 0, func(lo, hi int) error {
+	err := parallel.Blocks(ctx, workers, g.H, 0, func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
 			row := g.Data[j*g.W : (j+1)*g.W]
 			out := tmp[j*g.W : (j+1)*g.W]
@@ -184,11 +193,14 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int, p
 		return nil
 	})
 	hSpan.End()
+	if err != nil {
+		return err
+	}
 	// Vertical pass: convolve columns of tmp back into g.Data. Each
 	// block owns a contiguous span of columns and its own scratch
 	// buffers; writes target disjoint strided cells.
 	vSpan := parent.Child("blur_vertical")
-	_ = parallel.Blocks(workers, g.W, 0, func(lo, hi int) error {
+	err = parallel.Blocks(ctx, workers, g.W, 0, func(lo, hi int) error {
 		col := make([]float64, g.H)
 		outCol := make([]float64, g.H)
 		for i := lo; i < hi; i++ {
@@ -203,6 +215,7 @@ func blurSeparable(g *grid.Grid, bandwidthKm, truncSigma float64, workers int, p
 		return nil
 	})
 	vSpan.End()
+	return err
 }
 
 // convolveRow writes the 1-D convolution of src with kernel into dst.

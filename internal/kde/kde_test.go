@@ -1,6 +1,7 @@
 package kde
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -10,14 +11,14 @@ import (
 )
 
 func TestEstimateErrors(t *testing.T) {
-	if _, err := Estimate(nil, DefaultOptions()); err == nil {
+	if _, err := Estimate(context.Background(), nil, DefaultOptions()); err == nil {
 		t.Error("empty samples should error")
 	}
-	if _, err := Estimate([]geo.XY{{X: 0, Y: 0}}, Options{BandwidthKm: -1}); err == nil {
+	if _, err := Estimate(context.Background(), []geo.XY{{X: 0, Y: 0}}, Options{BandwidthKm: -1}); err == nil {
 		t.Error("negative bandwidth should error")
 	}
 	big := []geo.XY{{X: 0, Y: 0}, {X: 1e6, Y: 1e6}}
-	if _, err := Estimate(big, Options{BandwidthKm: 1, MaxCells: 1000}); err == nil {
+	if _, err := Estimate(context.Background(), big, Options{BandwidthKm: 1, MaxCells: 1000}); err == nil {
 		t.Error("oversized domain should error")
 	}
 }
@@ -28,7 +29,7 @@ func TestEstimateIntegratesToOne(t *testing.T) {
 	for i := range samples {
 		samples[i] = geo.XY{X: src.Norm(0, 50), Y: src.Norm(0, 30)}
 	}
-	g, err := Estimate(samples, Options{BandwidthKm: 20})
+	g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestEstimateIntegratesToOne(t *testing.T) {
 
 func TestEstimateSinglePointPeak(t *testing.T) {
 	at := geo.XY{X: 37, Y: -12}
-	g, err := Estimate([]geo.XY{at}, Options{BandwidthKm: 10})
+	g, err := Estimate(context.Background(), []geo.XY{at}, Options{BandwidthKm: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestEstimateTwoWellSeparatedClusters(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		samples = append(samples, geo.XY{X: src.Norm(300, 8), Y: src.Norm(0, 8)})
 	}
-	g, err := Estimate(samples, Options{BandwidthKm: 20})
+	g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestEstimateBandwidthMerging(t *testing.T) {
 		samples = append(samples, geo.XY{X: src.Norm(100, 10), Y: src.Norm(0, 10)})
 	}
 	count := func(bw float64) int {
-		g, err := Estimate(samples, Options{BandwidthKm: bw})
+		g, err := Estimate(context.Background(), samples, Options{BandwidthKm: bw})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestEstimateMatchesDirect(t *testing.T) {
 	for i := range samples {
 		samples[i] = geo.XY{X: src.Norm(0, 25), Y: src.Norm(10, 25)}
 	}
-	g, err := Estimate(samples, Options{BandwidthKm: 20, CellKm: 2})
+	g, err := Estimate(context.Background(), samples, Options{BandwidthKm: 20, CellKm: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestEstimateTranslationEquivariance(t *testing.T) {
 		shifted[i] = geo.XY{X: s.X + dx, Y: s.Y + dy}
 	}
 	opts := Options{BandwidthKm: 20, CellKm: 5}
-	g1, err := Estimate(samples, opts)
+	g1, err := Estimate(context.Background(), samples, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := Estimate(shifted, opts)
+	g2, err := Estimate(context.Background(), shifted, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestEstimateMassConservedUnderBandwidth(t *testing.T) {
 			samples[i] = geo.XY{X: src.Range(-100, 100), Y: src.Range(-100, 100)}
 		}
 		for _, bw := range []float64{10, 40, 80} {
-			g, err := Estimate(samples, Options{BandwidthKm: bw})
+			g, err := Estimate(context.Background(), samples, Options{BandwidthKm: bw})
 			if err != nil {
 				return false
 			}

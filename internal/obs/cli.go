@@ -32,6 +32,7 @@ type CLIFlags struct {
 	reg  *Registry
 	srv  *http.Server
 	addr string
+	done bool
 }
 
 // BindCLIFlags registers -metrics, -trace, and -pprof on fs.
@@ -92,10 +93,17 @@ func (c *CLIFlags) ServerAddr() string {
 // Finish writes the -metrics snapshot and the -trace tree, then shuts
 // the -pprof server down. stdout receives '-' snapshots; the trace goes
 // to stderr.
+//
+// Finish is idempotent: the first call does the work, later calls are
+// no-ops. CLIs exploit this by deferring Finish right after Start —
+// when a run is cancelled mid-pipeline the deferred call still writes
+// a partial snapshot (the counters flushed so far), while the normal
+// exit path's explicit Finish keeps its error reporting.
 func (c *CLIFlags) Finish(stdout, stderr io.Writer) error {
-	if c == nil {
+	if c == nil || c.done {
 		return nil
 	}
+	c.done = true
 	if c.srv != nil {
 		_ = c.srv.Close()
 		c.srv = nil

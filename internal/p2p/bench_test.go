@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"testing"
 
 	"eyeballas/internal/astopo"
@@ -14,7 +15,7 @@ func BenchmarkCrawl(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(w, DefaultConfig(), rng.New(uint64(i)).Split("p2p")); err != nil {
+		if _, err := Run(context.Background(), w, DefaultConfig(), rng.New(uint64(i)).Split("p2p")); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,10 +16,12 @@
 package p2p
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"eyeballas/internal/astopo"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/ipnet"
@@ -81,6 +83,13 @@ type Config struct {
 	// per-app crawl spans; nil disables instrumentation. Metrics are a
 	// read-only side channel: the crawl is byte-identical either way.
 	Obs *obs.Registry
+	// Faults injects crawl-level failures (faults.CrawlLoss drops a
+	// response after the crawler observed the peer; faults.CrawlDup
+	// records the same peer twice, which downstream unique-IP dedup
+	// must absorb). Decisions are keyed by (IP, app), so the same plan
+	// always loses the same responses. Nil disables injection and is
+	// bit-identical to a plan with zero rates.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns penetration rates tuned so the per-region peer
@@ -128,11 +137,16 @@ type Crawl struct {
 }
 
 // Run executes all three crawls over the world. The result is
-// deterministic in (world, src seed), with or without an observability
-// registry in cfg.Obs.
-func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
+// deterministic in (world, src seed, cfg.Faults), with or without an
+// observability registry in cfg.Obs. Cancellation is observed between
+// (AS, app) crawl units: a cancelled run returns ctx.Err() and the
+// partial crawl is discarded. A nil ctx means context.Background().
+func Run(ctx context.Context, w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	span := cfg.Obs.StartSpan("p2p.crawl")
 	defer span.End()
@@ -149,11 +163,21 @@ func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 			dupsC[app] = cfg.Obs.Counter("eyeball_crawl_dup_contacts_total", "app", app.String())
 		}
 	}
+	loss := cfg.Faults.Injector(faults.CrawlLoss)
+	dup := cfg.Faults.Injector(faults.CrawlDup)
+	var lostC, injDupC *obs.Counter
+	if cfg.Obs != nil && (loss != nil || dup != nil) {
+		lostC = cfg.Obs.Counter("eyeball_crawl_injected_lost_total")
+		injDupC = cfg.Obs.Counter("eyeball_crawl_injected_dup_total")
+	}
 	placer := users.NewPlacer(w)
 	out := &Crawl{ByApp: make(map[App]int)}
 	for _, a := range w.ASes() {
 		if a.Customers <= 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		for _, app := range Apps {
 			pen := cfg.Penetration[app][a.Region]
@@ -175,7 +199,7 @@ func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 				continue
 			}
 			seen := make(map[ipnet.Addr]bool, n)
-			unique := 0
+			unique, lost, injDups := 0, 0, 0
 			for i := 0; i < n; i++ {
 				u := users.User{
 					IP:      placer.IPFor(a, s),
@@ -186,15 +210,36 @@ func Run(w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
 					continue // crawlers report unique IPs per app
 				}
 				seen[u.IP] = true
+				// crawl-loss: the crawler contacted the peer but the
+				// response was lost before being recorded. The decision is
+				// per (IP, app), after dedup, so the same plan always
+				// loses the same peers — and the RNG draw sequence above
+				// is untouched, so a zero-rate plan is bit-identical.
+				if loss.Hit2(uint64(u.IP), uint64(app)) {
+					lost++
+					continue
+				}
 				unique++
-				out.Peers = append(out.Peers, Peer{
+				peer := Peer{
 					IP: u.IP, App: app, TrueASN: u.ASN, TrueLoc: u.TrueLoc,
-				})
+				}
+				out.Peers = append(out.Peers, peer)
 				out.ByApp[app]++
+				// crawl-dup: the same response recorded twice (a retry
+				// that both landed); downstream unique-IP dedup absorbs it.
+				if dup.Hit2(uint64(u.IP), uint64(app)) {
+					injDups++
+					out.Peers = append(out.Peers, peer)
+					out.ByApp[app]++
+				}
 			}
 			contactsC[app].Add(int64(n))
 			peersC[app].Add(int64(unique))
-			dupsC[app].Add(int64(n - unique))
+			dupsC[app].Add(int64(n - unique - lost))
+			if lostC != nil {
+				lostC.Add(int64(lost))
+				injDupC.Add(int64(injDups))
+			}
 		}
 	}
 	return out, nil

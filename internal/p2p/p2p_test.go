@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"testing"
 
 	"eyeballas/internal/astopo"
@@ -14,7 +15,7 @@ func crawlWorld(t *testing.T, seed uint64) (*astopo.World, *Crawl) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Run(w, DefaultConfig(), rng.New(seed).Split("p2p"))
+	c, err := Run(context.Background(), w, DefaultConfig(), rng.New(seed).Split("p2p"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestConfigValidation(t *testing.T) {
 		{Scale: 1, Penetration: DefaultConfig().Penetration, KadZones: 0, Torrents: 8},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(w, cfg, src); err == nil {
+		if _, err := Run(context.Background(), w, cfg, src); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}

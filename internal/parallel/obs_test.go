@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -19,7 +20,7 @@ func TestPoolMetricsSmoke(t *testing.T) {
 
 	var visited atomic.Int64
 	const n, block = 1000, 64
-	if err := Blocks(4, n, block, func(lo, hi int) error {
+	if err := Blocks(context.Background(), 4, n, block, func(lo, hi int) error {
 		visited.Add(int64(hi - lo))
 		return nil
 	}); err != nil {
@@ -59,7 +60,7 @@ func TestPoolMetricsSmoke(t *testing.T) {
 
 	// After removal the pool must stop counting.
 	SetMetrics(nil)
-	if err := Blocks(4, n, block, func(lo, hi int) error { return nil }); err != nil {
+	if err := Blocks(context.Background(), 4, n, block, func(lo, hi int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("eyeball_parallel_blocks_total").Value(); got != wantBlocks {
@@ -74,7 +75,7 @@ func TestPoolMetricsInlinePath(t *testing.T) {
 	SetMetrics(MetricsFrom(reg))
 	defer SetMetrics(nil)
 
-	if err := Blocks(1, 100, 10, func(lo, hi int) error { return nil }); err != nil {
+	if err := Blocks(context.Background(), 1, 100, 10, func(lo, hi int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("eyeball_parallel_blocks_total").Value(); got != 10 {

@@ -13,18 +13,28 @@
 //   - Errors carry their index: after all work finishes, the error at the
 //     lowest index wins, so the returned error is the same regardless of
 //     goroutine scheduling.
-//   - Panics are recovered in the workers and re-raised in the calling
-//     goroutine (lowest index wins, mirroring the error rule), so a
-//     panicking callback behaves like it does in a serial loop instead of
-//     crashing the process from an anonymous goroutine.
+//   - Panics are recovered in the workers and converted into a
+//     *PanicError carrying the panicking goroutine's captured stack,
+//     selected with the same lowest-index-wins rule as plain errors. A
+//     panicking callback therefore surfaces as an ordinary error at the
+//     call site instead of crashing the process from an anonymous
+//     goroutine — and the inline workers==1 path converts identically,
+//     so the outcome is the same for every worker count.
+//   - Cancellation is cooperative at block boundaries: every entry point
+//     takes a context.Context, workers stop claiming blocks once it is
+//     done, and the pool returns ctx.Err(). A cancelled pool leaks no
+//     goroutines (workers exit through the normal WaitGroup path).
 //
 // A workers argument <= 0 selects runtime.GOMAXPROCS(0); 1 runs inline on
 // the calling goroutine with no synchronization at all.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -32,6 +42,22 @@ import (
 
 	"eyeballas/internal/obs"
 )
+
+// PanicError is a worker panic recovered by the pool and converted into
+// an error, so a panicking callback cannot crash the process from an
+// anonymous goroutine or unwind across package boundaries. Value is the
+// recovered panic value; Stack is the panicking goroutine's stack,
+// captured at recover time (the context a bare re-panic would lose).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the captured stack is available on the
+// struct for logs and crash reports.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", e.Value)
+}
 
 // Metrics is the pool's instrumentation bundle: how many blocks were
 // dispatched, how long each one waited in the queue (from pool start to
@@ -128,8 +154,10 @@ func DefaultBlock(n int) int {
 // Indexes are dispatched one at a time (good load balancing for per-item
 // work of uneven cost, e.g. per-AS KDE surfaces). All indexes are visited
 // even after a failure; the error with the lowest index is returned.
-func For(workers, n int, fn func(i int) error) error {
-	return blocks(workers, n, 1, func(lo, hi int) (int, error) {
+// When ctx is cancelled the pool stops dispatching, drains, and returns
+// ctx.Err().
+func For(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return blocks(ctx, workers, n, 1, func(lo, hi int) (int, error) {
 		for i := lo; i < hi; i++ {
 			if err := fn(i); err != nil {
 				return i, err
@@ -140,9 +168,9 @@ func For(workers, n int, fn func(i int) error) error {
 }
 
 // ForEach runs fn(i, items[i]) for every item on up to workers
-// goroutines, with For's dispatch and error semantics.
-func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
-	return For(workers, len(items), func(i int) error { return fn(i, items[i]) })
+// goroutines, with For's dispatch, error, and cancellation semantics.
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(i int, item T) error) error {
+	return For(ctx, workers, len(items), func(i int) error { return fn(i, items[i]) })
 }
 
 // Blocks partitions [0, n) into consecutive blocks of the given size (the
@@ -150,12 +178,14 @@ func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error 
 // fn(lo, hi) for each block on up to workers goroutines. Block boundaries
 // depend only on n and block — never on workers — so per-block arithmetic
 // decomposes identically for every worker count. An error is attributed
-// to its block's lo index; the lowest one wins.
-func Blocks(workers, n, block int, fn func(lo, hi int) error) error {
+// to its block's lo index; the lowest one wins. Cancellation is observed
+// between blocks: once ctx is done no further block starts, running
+// blocks finish, and the pool returns ctx.Err().
+func Blocks(ctx context.Context, workers, n, block int, fn func(lo, hi int) error) error {
 	if block <= 0 {
 		block = DefaultBlock(n)
 	}
-	return blocks(workers, n, block, func(lo, hi int) (int, error) {
+	return blocks(ctx, workers, n, block, func(lo, hi int) (int, error) {
 		return lo, fn(lo, hi)
 	})
 }
@@ -169,10 +199,16 @@ type indexed struct {
 
 // blocks is the single pool implementation behind For and Blocks. fn
 // processes [lo, hi) and reports the index of its failure (ignored when
-// the error is nil).
-func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
+// the error is nil). A nil ctx is treated as context.Background().
+func blocks(ctx context.Context, workers, n, block int, fn func(lo, hi int) (int, error)) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	nblocks := (n + block - 1) / block
 	workers = Resolve(workers, nblocks)
@@ -182,10 +218,14 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 		poolStart = time.Now()
 	}
 	if workers == 1 {
-		// Inline fast path: no goroutines, natural panic propagation.
-		// Stops at the first error, which is necessarily the
-		// lowest-index one.
+		// Inline fast path: no goroutines, no synchronization. Stops at
+		// the first error, which is necessarily the lowest-index one;
+		// panics convert to *PanicError exactly like the pooled path so
+		// callers see the same outcome for every worker count.
 		for b := 0; b < nblocks; b++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			lo := b * block
 			hi := lo + block
 			if hi > n {
@@ -195,7 +235,7 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 			if m != nil {
 				blockStart = time.Now()
 			}
-			_, err := fn(lo, hi)
+			_, err := runBlock(fn, lo, hi)
 			if m != nil {
 				m.recordBlock(0, poolStart, blockStart, time.Now())
 			}
@@ -213,8 +253,6 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 		mu       sync.Mutex
 		firstErr error
 		errAt    = indexed{idx: math.MaxInt}
-		panicVal any
-		panicAt  = indexed{idx: math.MaxInt}
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
@@ -222,6 +260,12 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				// Cooperative cancellation: stop claiming blocks once the
+				// context is done. Running blocks are never interrupted,
+				// so the caller regains control within one block boundary.
+				if ctx.Err() != nil {
+					return
+				}
 				b := int(next.Add(1))
 				if b >= nblocks {
 					return
@@ -235,42 +279,41 @@ func blocks(workers, n, block int, fn func(lo, hi int) (int, error)) error {
 				if m != nil {
 					blockStart = time.Now()
 				}
-				idx, err, pv, panicked := runBlock(fn, lo, hi)
+				idx, err := runBlock(fn, lo, hi)
 				if m != nil {
 					m.recordBlock(worker, poolStart, blockStart, time.Now())
 				}
-				if err == nil && !panicked {
+				if err == nil {
 					continue
 				}
 				mu.Lock()
-				if err != nil && (!errAt.set || idx < errAt.idx) {
+				if !errAt.set || idx < errAt.idx {
 					firstErr, errAt = err, indexed{idx: idx, set: true}
-				}
-				if panicked && (!panicAt.set || lo < panicAt.idx) {
-					panicVal, panicAt = pv, indexed{idx: lo, set: true}
 				}
 				mu.Unlock()
 			}
 		}(w)
 	}
 	wg.Wait()
-	if panicAt.set {
-		// Re-raise in the caller, like a serial loop would. The original
-		// goroutine's stack is lost, but the value (and therefore
-		// recover-based handling) is preserved.
-		panic(panicVal)
+	// A cancelled pool may have skipped blocks, so any partial result is
+	// untrustworthy: report the cancellation (deterministically) rather
+	// than whichever block errors happened to land first.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return firstErr
 }
 
-// runBlock invokes fn over one block, converting a panic into a value so
-// the pool can re-raise the lowest-index one deterministically.
-func runBlock(fn func(lo, hi int) (int, error), lo, hi int) (idx int, err error, panicVal any, panicked bool) {
+// runBlock invokes fn over one block, converting a panic into a
+// *PanicError attributed to the block's lo index, so the pool can select
+// the lowest-index failure deterministically. The stack is captured
+// inside the deferred recover — i.e. the panicking goroutine's own
+// frames, the context a bare re-panic across goroutines would lose.
+func runBlock(fn func(lo, hi int) (int, error), lo, hi int) (idx int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			panicVal, panicked = r, true
+			idx, err = lo, &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	idx, err = fn(lo, hi)
-	return idx, err, nil, false
+	return fn(lo, hi)
 }

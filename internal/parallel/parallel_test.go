@@ -1,12 +1,15 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForVisitsAllOnce(t *testing.T) {
@@ -14,7 +17,7 @@ func TestForVisitsAllOnce(t *testing.T) {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
 			const n = 500
 			visited := make([]int32, n)
-			err := For(workers, n, func(i int) error {
+			err := For(context.Background(), workers, n, func(i int) error {
 				atomic.AddInt32(&visited[i], 1)
 				return nil
 			})
@@ -33,7 +36,7 @@ func TestForVisitsAllOnce(t *testing.T) {
 func TestForEachPassesItems(t *testing.T) {
 	items := []string{"a", "b", "c", "d", "e"}
 	got := make([]string, len(items))
-	if err := ForEach(4, items, func(i int, s string) error {
+	if err := ForEach(context.Background(), 4, items, func(i int, s string) error {
 		got[i] = s
 		return nil
 	}); err != nil {
@@ -48,13 +51,14 @@ func TestForEachPassesItems(t *testing.T) {
 
 func TestZeroItems(t *testing.T) {
 	called := int32(0)
-	if err := For(8, 0, func(int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+	ctx := context.Background()
+	if err := For(ctx, 8, 0, func(int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := ForEach(8, []int(nil), func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+	if err := ForEach(ctx, 8, []int(nil), func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := Blocks(8, 0, 16, func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
+	if err := Blocks(ctx, 8, 0, 16, func(int, int) error { atomic.AddInt32(&called, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if called != 0 {
@@ -62,9 +66,20 @@ func TestZeroItems(t *testing.T) {
 	}
 }
 
+func TestNilContextIsBackground(t *testing.T) {
+	var visited int32
+	//nolint:staticcheck // nil ctx is an explicitly documented no-op alias for Background.
+	if err := For(nil, 4, 100, func(i int) error { atomic.AddInt32(&visited, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 100 {
+		t.Fatalf("visited %d of 100", visited)
+	}
+}
+
 func TestSingleItemSingleWorker(t *testing.T) {
 	n := int32(0)
-	err := For(1, 1, func(i int) error {
+	err := For(context.Background(), 1, 1, func(i int) error {
 		if i != 0 {
 			t.Errorf("got index %d", i)
 		}
@@ -85,7 +100,7 @@ func TestFirstErrorLowestIndex(t *testing.T) {
 	errLow := errors.New("low")
 	errHigh := errors.New("high")
 	for round := 0; round < 50; round++ {
-		err := For(8, n, func(i int) error {
+		err := For(context.Background(), 8, n, func(i int) error {
 			switch i {
 			case 13:
 				return errLow
@@ -109,7 +124,7 @@ func TestConcurrentFailuresAllIndexes(t *testing.T) {
 		errs[i] = fmt.Errorf("err %d", i)
 	}
 	for round := 0; round < 25; round++ {
-		err := For(16, n, func(i int) error { return errs[i] })
+		err := For(context.Background(), 16, n, func(i int) error { return errs[i] })
 		if !errors.Is(err, errs[0]) {
 			t.Fatalf("round %d: got %v, want %v", round, err, errs[0])
 		}
@@ -119,7 +134,7 @@ func TestConcurrentFailuresAllIndexes(t *testing.T) {
 func TestErrorDoesNotAbortOtherIndexes(t *testing.T) {
 	const n = 64
 	var visited int32
-	err := For(4, n, func(i int) error {
+	err := For(context.Background(), 4, n, func(i int) error {
 		atomic.AddInt32(&visited, 1)
 		if i == 0 {
 			return errors.New("early")
@@ -137,64 +152,91 @@ func TestErrorDoesNotAbortOtherIndexes(t *testing.T) {
 	}
 }
 
-func TestPanicPropagation(t *testing.T) {
+// TestPanicBecomesError: a panicking callback must surface as a
+// *PanicError at the call site — identically for the inline and pooled
+// paths — carrying the panic value and a captured stack that names the
+// panicking function.
+func TestPanicBecomesError(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Fatal("panic did not propagate")
-				}
-				if s, ok := r.(string); !ok || s != "boom 7" {
-					t.Fatalf("recovered %v, want \"boom 7\"", r)
-				}
-			}()
-			_ = For(workers, 32, func(i int) error {
+			err := For(context.Background(), workers, 32, func(i int) error {
 				if i == 7 {
 					panic("boom 7")
 				}
 				return nil
 			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %v (%T), want *PanicError", err, err)
+			}
+			if s, ok := pe.Value.(string); !ok || s != "boom 7" {
+				t.Fatalf("panic value %v, want \"boom 7\"", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("no stack captured")
+			}
+			if !strings.Contains(err.Error(), "boom 7") {
+				t.Fatalf("Error() = %q does not mention the panic value", err.Error())
+			}
 		})
 	}
 }
 
-// TestPanicLowestIndexWins: with several panicking indexes, the re-raised
-// value must be the lowest index's, deterministically.
+// TestPanicLowestIndexWins: with several panicking indexes, the reported
+// error must be the lowest index's, deterministically.
 func TestPanicLowestIndexWins(t *testing.T) {
 	for round := 0; round < 25; round++ {
-		func() {
-			defer func() {
-				r := recover()
-				if s, ok := r.(string); !ok || s != "panic 5" {
-					t.Fatalf("round %d: recovered %v, want \"panic 5\"", round, r)
-				}
-			}()
-			_ = For(8, 200, func(i int) error {
-				switch i {
-				case 5, 6, 150:
-					panic(fmt.Sprintf("panic %d", i))
-				}
-				return nil
-			})
-		}()
+		err := For(context.Background(), 8, 200, func(i int) error {
+			switch i {
+			case 5, 6, 150:
+				panic(fmt.Sprintf("panic %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: got %v (%T), want *PanicError", round, err, err)
+		}
+		if s, ok := pe.Value.(string); !ok || s != "panic 5" {
+			t.Fatalf("round %d: panic value %v, want \"panic 5\"", round, pe.Value)
+		}
 	}
 }
 
-func TestPanicBeatsError(t *testing.T) {
-	// A panic anywhere must surface as a panic even when other indexes
-	// returned errors.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+// TestPanicVsErrorLowestIndexWins: panics and plain errors compete under
+// the same lowest-index rule; a panic at index 10 loses to an error at
+// index 3 and beats an error at index 40.
+func TestPanicVsErrorLowestIndexWins(t *testing.T) {
+	errEarly := errors.New("early error")
+	for round := 0; round < 25; round++ {
+		err := For(context.Background(), 4, 50, func(i int) error {
+			switch i {
+			case 3:
+				return errEarly
+			case 10:
+				panic("explode")
+			}
+			return nil
+		})
+		if !errors.Is(err, errEarly) {
+			t.Fatalf("round %d: got %v, want the lower-index plain error", round, err)
 		}
-	}()
-	_ = For(4, 50, func(i int) error {
-		if i == 10 {
-			panic("explode")
+	}
+	for round := 0; round < 25; round++ {
+		err := For(context.Background(), 4, 50, func(i int) error {
+			switch i {
+			case 10:
+				panic("explode")
+			case 40:
+				return errEarly
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: got %v, want the lower-index *PanicError", round, err)
 		}
-		return errors.New("regular")
-	})
+	}
 }
 
 func TestBlocksPartitionExactly(t *testing.T) {
@@ -203,7 +245,7 @@ func TestBlocksPartitionExactly(t *testing.T) {
 	} {
 		for _, workers := range []int{1, 5} {
 			covered := make([]int32, tc.n)
-			err := Blocks(workers, tc.n, tc.block, func(lo, hi int) error {
+			err := Blocks(context.Background(), workers, tc.n, tc.block, func(lo, hi int) error {
 				if lo >= hi || lo < 0 || hi > tc.n {
 					return fmt.Errorf("bad block [%d,%d)", lo, hi)
 				}
@@ -235,7 +277,7 @@ func TestBlocksDecompositionIndependentOfWorkers(t *testing.T) {
 	boundaries := func(workers, n int) map[[2]int]bool {
 		var mu sync.Mutex
 		set := map[[2]int]bool{}
-		if err := Blocks(workers, n, 0, func(lo, hi int) error {
+		if err := Blocks(context.Background(), workers, n, 0, func(lo, hi int) error {
 			mu.Lock()
 			set[[2]int{lo, hi}] = true
 			mu.Unlock()
@@ -265,7 +307,7 @@ func TestBlocksErrorLowestBlockWins(t *testing.T) {
 	errA := errors.New("block 0")
 	errB := errors.New("late block")
 	for round := 0; round < 25; round++ {
-		err := Blocks(8, 1000, 10, func(lo, hi int) error {
+		err := Blocks(context.Background(), 8, 1000, 10, func(lo, hi int) error {
 			switch lo {
 			case 40:
 				return errA
@@ -277,6 +319,128 @@ func TestBlocksErrorLowestBlockWins(t *testing.T) {
 		if !errors.Is(err, errA) {
 			t.Fatalf("round %d: got %v, want %v", round, err, errA)
 		}
+	}
+}
+
+// TestPreCancelledContext: a context that is already done must prevent
+// any callback from running, for every worker count.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		var called int32
+		err := For(ctx, workers, 1000, func(i int) error {
+			atomic.AddInt32(&called, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if called != 0 {
+			t.Fatalf("workers=%d: %d callbacks ran under a cancelled context", workers, called)
+		}
+	}
+}
+
+// TestCancellationStopsWithinOneBlock: once the context is cancelled,
+// workers must stop claiming new blocks — the pool returns ctx.Err()
+// having run only the blocks already in flight plus at most one more
+// claim race per worker, never the whole input.
+func TestCancellationStopsWithinOneBlock(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const n, block = 10000, 1
+			var ran int32
+			err := Blocks(ctx, workers, n, block, func(lo, hi int) error {
+				if atomic.AddInt32(&ran, 1) == 5 {
+					cancel() // cancel from inside the 5th block
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+			// Each worker may have claimed one more block before seeing
+			// the cancellation; anything near n means it never stopped.
+			if got := atomic.LoadInt32(&ran); int(got) > 5+workers+1 {
+				t.Fatalf("ran %d blocks after cancellation at block 5 (workers=%d)", got, workers)
+			}
+		})
+	}
+}
+
+// TestCancellationBeatsBlockErrors: a cancelled pool may have skipped
+// blocks, so ctx.Err() must win over whatever block errors landed —
+// otherwise the reported error would depend on scheduling.
+func TestCancellationBeatsBlockErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errBlock := errors.New("block failure")
+	err := Blocks(ctx, 4, 1000, 1, func(lo, hi int) error {
+		cancel()
+		return errBlock
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled to win over block errors", err)
+	}
+}
+
+// TestCancellationNoGoroutineLeak: a cancelled pool must exit through
+// the normal WaitGroup path and leave no workers behind.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = Blocks(ctx, 8, 5000, 1, func(lo, hi int) error {
+			if lo == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// Give exiting goroutines a moment; retry to tolerate unrelated
+	// runtime churn.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after 20 cancelled pools", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancellationReturnsPromptly: cancellation must take effect at the
+// next block boundary — a pool of slow blocks returns well before it
+// would have finished all of them.
+func TestCancellationReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 1000 // 1000 blocks × 1ms each = 1s+ if cancellation were ignored
+	start := time.Now()
+	var ran int32
+	err := Blocks(ctx, 2, n, 1, func(lo, hi int) error {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Generous margin: the pool only has to stop claiming blocks, so a
+	// few in-flight ones may finish, but nothing near the full second.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled pool took %v to return", elapsed)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -24,7 +25,7 @@ var benchSetupOnce = sync.OnceValues(func() (*benchEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	crawl, err := p2p.Run(w, p2p.DefaultConfig(), seedSource(71))
+	crawl, err := p2p.Run(context.Background(), w, p2p.DefaultConfig(), seedSource(71))
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +63,7 @@ func benchBuild(b *testing.B, reg *obs.Registry) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(env.crawl, env.dbA, env.dbB, env.origins, cfg); err != nil {
+		if _, err := Build(context.Background(), env.crawl, env.dbA, env.dbB, env.origins, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

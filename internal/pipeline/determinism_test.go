@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Dataset {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
-		ds, _, err := Run(w, p2p.DefaultConfig(), cfg, 71)
+		ds, _, err := Run(context.Background(), w, p2p.DefaultConfig(), cfg, 71)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -115,11 +116,11 @@ func TestBuildCompiledMatchesTriePath(t *testing.T) {
 	origins := bgp.NewOriginTable(ribs...)
 	dbA, dbB := geodb.NewGeoCity(w), geodb.NewIPLoc(w)
 
-	compiled, err := Build(crawl, dbA, dbB, origins, DefaultConfig())
+	compiled, err := Build(context.Background(), crawl, dbA, dbB, origins, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	trie, err := Build(crawl, dbA, dbB, trieOrigins{origins}, DefaultConfig())
+	trie, err := Build(context.Background(), crawl, dbA, dbB, trieOrigins{origins}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

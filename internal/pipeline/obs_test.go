@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -129,7 +130,7 @@ func TestBuildPropagatesResolverError(t *testing.T) {
 		if workers == 1 {
 			failAt = 10
 		}
-		_, err := Build(crawl, dbA, dbB, &failingResolver{inner: origins, failAt: failAt},
+		_, err := Build(context.Background(), crawl, dbA, dbB, &failingResolver{inner: origins, failAt: failAt},
 			Config{MaxGeoErrKm: 100, MaxP90GeoErrKm: 80, MinPeers: 60, Workers: workers})
 		if err == nil {
 			t.Fatalf("workers=%d: Build swallowed the resolver error", workers)
@@ -148,11 +149,11 @@ func TestCheckedResolverMatchesPlainPath(t *testing.T) {
 	origins := buildOrigins(t, w)
 	dbA, dbB := geodb.NewGeoCity(w), geodb.NewIPLoc(w)
 
-	plain, err := Build(crawl, dbA, dbB, struct{ bgp.Resolver }{origins}, DefaultConfig())
+	plain, err := Build(context.Background(), crawl, dbA, dbB, struct{ bgp.Resolver }{origins}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	checked, err := Build(crawl, dbA, dbB, infallibleChecked{origins}, DefaultConfig())
+	checked, err := Build(context.Background(), crawl, dbA, dbB, infallibleChecked{origins}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestDatasetIdenticalWithRegistry(t *testing.T) {
 			parallel.SetMetrics(parallel.MetricsFrom(reg))
 			defer parallel.SetMetrics(nil)
 		}
-		ds, _, err := Run(w, p2p.DefaultConfig(), cfg, 71)
+		ds, _, err := Run(context.Background(), w, p2p.DefaultConfig(), cfg, 71)
 		if err != nil {
 			t.Fatalf("workers=%d obs=%v: %v", workers, reg != nil, err)
 		}
@@ -198,7 +199,7 @@ func TestRegistryExposesPipelineMetrics(t *testing.T) {
 	reg := obs.New()
 	cfg := DefaultConfig()
 	cfg.Obs = reg
-	ds, _, err := Run(w, p2p.DefaultConfig(), cfg, 71)
+	ds, _, err := Run(context.Background(), w, p2p.DefaultConfig(), cfg, 71)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,15 +9,44 @@
 // MinPeers peers are dropped, and ASes whose 90th-percentile geolocation
 // error exceeds 80 km are dropped so a fixed 40 km kernel bandwidth is
 // valid for every remaining AS (§3.1).
+//
+// # Failure model
+//
+// The method is an exercise in surviving dirty measurement data, and
+// the pipeline degrades in controlled ways rather than silently
+// absorbing arbitrarily bad input:
+//
+//   - Records with corrupt coordinates (NaN or out of range) are
+//     dropped with their own funnel reason ("garbage_coord") instead of
+//     flowing into the KDE as poisoned samples.
+//   - Optional error budgets (MaxGeoMissFrac, MaxOriginMissFrac) bound
+//     how much peer loss at the geolocate and origin stages is
+//     tolerable; a blown budget fails the build fast with a typed
+//     *BudgetError instead of quietly producing a thin dataset.
+//   - When exactly one geolocation database blows the geo budget and
+//     SingleDBFallback is set, the build reruns with the surviving
+//     database alone and marks the dataset Degraded — cross-database
+//     error estimates are gone, which the caller must surface.
+//   - Cancellation (SIGINT in the CLIs) is observed at worker-pool
+//     block boundaries; a cancelled build returns ctx.Err() and no
+//     partial dataset.
+//   - A panicking worker (including the faults.WorkerPanic injection)
+//     surfaces as a *parallel.PanicError carrying the captured stack.
+//
+// Deterministic fault injection for all of the above lives in
+// internal/faults and is wired through Config.Faults.
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"eyeballas/internal/astopo"
 	"eyeballas/internal/bgp"
 	"eyeballas/internal/core"
+	"eyeballas/internal/faults"
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geodb"
 	"eyeballas/internal/ipnet"
@@ -56,6 +85,36 @@ type Config struct {
 	// is always built (Dataset.Drops and the CLI summary are views over
 	// it), and datasets are bit-identical with or without a registry.
 	Obs *obs.Registry
+
+	// MaxGeoMissFrac is the geolocate-stage error budget: the maximum
+	// tolerable fraction of crawled peers lost to missing or corrupt
+	// geolocation records (funnel reasons no_city + garbage_coord).
+	// Exceeding it fails the build with a *BudgetError — unless
+	// SingleDBFallback applies (see below). 0 disables the budget.
+	MaxGeoMissFrac float64
+	// MaxOriginMissFrac is the origin-stage error budget: the maximum
+	// tolerable fraction of geolocated peers that match no BGP prefix
+	// (funnel reason unmapped_ip). Exceeding it fails the build with a
+	// *BudgetError. 0 disables the budget.
+	MaxOriginMissFrac float64
+	// SingleDB builds from the primary database alone: no secondary
+	// lookups, no cross-database error estimates (GeoErrKm is 0 for
+	// every sample and the error filters pass trivially). The dataset
+	// is marked Degraded.
+	SingleDB bool
+	// SingleDBFallback permits a dual-database build whose geo budget
+	// is blown by exactly one database to rerun with the surviving
+	// database alone instead of failing. The result is marked Degraded
+	// with the reason recorded. Requires MaxGeoMissFrac > 0 to ever
+	// trigger.
+	SingleDBFallback bool
+	// Faults is the deterministic fault-injection plan (nil = none).
+	// Build wraps the databases and the origin resolver with the
+	// plan's injectors and arms the worker-panic injection; Run
+	// additionally passes the plan to the crawl. A nil plan — or one
+	// whose rates are all zero — yields a bit-identical dataset to no
+	// plan at all.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns thresholds for the default synthetic scale
@@ -77,7 +136,31 @@ func (c Config) validate() error {
 	if c.MinPeers < 1 {
 		return fmt.Errorf("pipeline: MinPeers must be >= 1")
 	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{{"MaxGeoMissFrac", c.MaxGeoMissFrac}, {"MaxOriginMissFrac", c.MaxOriginMissFrac}} {
+		if b.v < 0 || b.v > 1 || math.IsNaN(b.v) {
+			return fmt.Errorf("pipeline: %s %v outside [0,1]", b.name, b.v)
+		}
+	}
 	return nil
+}
+
+// BudgetError reports a blown per-stage error budget: the build
+// observed a failure fraction beyond what the caller declared
+// tolerable, and failed fast instead of conditioning a thin dataset.
+type BudgetError struct {
+	Stage  string  // "geolocate" or "origin"
+	Reason string  // human-readable diagnosis
+	Frac   float64 // observed failure fraction
+	Budget float64 // the configured cap it exceeded
+}
+
+// Error renders the budget violation on one line.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("pipeline: %s error budget exceeded: %s (%.4f > %.4f)",
+		e.Stage, e.Reason, e.Frac, e.Budget)
 }
 
 // ASRecord is one eligible eyeball AS in the target dataset.
@@ -99,6 +182,7 @@ type ASRecord struct {
 // Drops accounts for every discarded observation or AS.
 type Drops struct {
 	NoCityRecord int // either database lacked a city-level record
+	GarbageCoord int // a database answered corrupt coordinates (NaN / out of range)
 	HighGeoErr   int // cross-database error above MaxGeoErrKm
 	UnmappedIP   int // no origin AS in the BGP tables
 	DupIP        int // same IP already seen (kept once in samples)
@@ -125,6 +209,14 @@ type Dataset struct {
 	// in TotalPeers, dropped at a peer-level stage, or inside a
 	// dropped AS.
 	Funnel *obs.Funnel
+	// Degraded is true when the dataset was built without the
+	// cross-database error estimate — either SingleDB was requested or
+	// the single-DB fallback fired. Per-sample GeoErrKm is then 0 and
+	// the geo-error filters passed trivially; downstream consumers
+	// must treat error-sensitive conclusions accordingly.
+	Degraded bool
+	// DegradedReason says why (empty when Degraded is false).
+	DegradedReason string
 }
 
 // AS returns the record for an AS, or nil.
@@ -144,6 +236,10 @@ type located struct {
 	sample core.Sample
 	asn    astopo.ASN
 	drop   dropKind
+	// missA/missB record which database lacked a city-level record for
+	// this peer (dual-database passes only) — the per-database blame
+	// the single-DB fallback decision needs.
+	missA, missB bool
 }
 
 type dropKind int8
@@ -151,9 +247,39 @@ type dropKind int8
 const (
 	dropNone dropKind = iota
 	dropNoCity
+	dropGarbage
 	dropHighGeoErr
 	dropUnmappedIP
 )
+
+// passCounts tallies one locate pass.
+type passCounts struct {
+	noCity, garbage, highGeoErr, unmapped int
+	missA, missB                          int
+}
+
+func tally(results []located) passCounts {
+	var c passCounts
+	for i := range results {
+		switch results[i].drop {
+		case dropNoCity:
+			c.noCity++
+		case dropGarbage:
+			c.garbage++
+		case dropHighGeoErr:
+			c.highGeoErr++
+		case dropUnmappedIP:
+			c.unmapped++
+		}
+		if results[i].missA {
+			c.missA++
+		}
+		if results[i].missB {
+			c.missB++
+		}
+	}
+	return c
+}
 
 // Build runs steps 2–4 of the methodology over a finished crawl.
 // Geolocation and origin lookups are pure per-peer functions, so they run
@@ -166,19 +292,36 @@ const (
 // origins additionally implements bgp.CheckedResolver, the checked path
 // is used and a lookup error aborts the build (propagated out of the
 // worker pool with lowest-index-wins semantics).
-func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
+//
+// ctx cancels the build at worker-pool block boundaries (nil means
+// context.Background()). On any failure — cancellation, lookup error,
+// blown budget, worker panic — the returned dataset is nil.
+func Build(ctx context.Context, crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := cfg.Obs.StartSpan("pipeline.build")
 	defer span.End()
+
+	// Fault wiring: wrap the databases and the resolver with the plan's
+	// injectors, and arm the worker-panic injection. All of these are
+	// identity operations under a nil (or all-zero) plan.
+	dbA = dbA.WithFaults(cfg.Faults, faults.GeoMissA)
+	if dbB != nil {
+		dbB = dbB.WithFaults(cfg.Faults, faults.GeoMissB)
+	}
+	origins = bgp.WithFaults(origins, cfg.Faults)
+	wp := cfg.Faults.Injector(faults.WorkerPanic)
 
 	// The funnel is built unconditionally: Dataset.Drops and the CLI
 	// summary are views over it. Registering it on a nil registry is a
 	// no-op.
 	funnel := obs.NewFunnel("pipeline")
 	cfg.Obs.RegisterFunnel(funnel)
-	stGeo := funnel.Stage("geolocate").DeclareReasons("no_city", "high_geo_err")
+	stGeo := funnel.Stage("geolocate").DeclareReasons("no_city", "garbage_coord", "high_geo_err")
 	stOrigin := funnel.Stage("origin").DeclareReasons("unmapped_ip")
 	stDedup := funnel.Stage("dedup").DeclareReasons("dup_ip")
 	stCond := funnel.Stage("condition").DeclareReasons("small_as", "high_err_as")
@@ -188,7 +331,6 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Confi
 		CrawledPeers: len(crawl.Peers),
 		Funnel:       funnel,
 	}
-	seenIP := make(map[ipnet.Addr]astopo.ASN, len(crawl.Peers))
 
 	// Optional checked path: detected once, outside the hot loop.
 	checked, _ := origins.(bgp.CheckedResolver)
@@ -199,41 +341,89 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Confi
 	// nil counter is a branch-only no-op.
 	lookupsC := cfg.Obs.Counter("eyeball_bgp_origin_lookups_total")
 
-	results := make([]located, len(crawl.Peers))
+	secondary := dbB
+	if cfg.SingleDB {
+		secondary = nil
+		ds.Degraded = true
+		ds.DegradedReason = "single-db mode requested (no cross-database error estimates)"
+	}
 	locSpan := span.Child("locate")
-	err := parallel.Blocks(cfg.Workers, len(crawl.Peers), 0, func(lo, hi int) error {
-		var lookups int64
-		for i := lo; i < hi; i++ {
-			r, err := locateOne(crawl.Peers[i], dbA, dbB, origins, checked, cfg)
-			if err != nil {
-				return err
-			}
-			if r.drop == dropNone || r.drop == dropUnmappedIP {
-				lookups++ // an origin lookup was actually performed
-			}
-			results[i] = r
-		}
-		lookupsC.Add(lookups)
-		return nil
-	})
+	results, err := runLocate(ctx, crawl, dbA, secondary, origins, checked, cfg, wp, lookupsC)
 	locSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	counts := tally(results)
+	n := len(crawl.Peers)
+
+	// Geolocate-stage error budget. The failure fraction is the share
+	// of crawled peers lost to missing or corrupt records — high_geo_err
+	// drops are not counted, because large cross-database disagreement
+	// is dirty data the method is designed for, not an ingestion
+	// failure. When exactly one database is individually over budget
+	// and the fallback is enabled, rerun with the survivor.
+	if cfg.MaxGeoMissFrac > 0 && secondary != nil && n > 0 {
+		missFrac := float64(counts.noCity+counts.garbage) / float64(n)
+		if missFrac > cfg.MaxGeoMissFrac {
+			fracA := float64(counts.missA) / float64(n)
+			fracB := float64(counts.missB) / float64(n)
+			blameA := fracA > cfg.MaxGeoMissFrac
+			blameB := fracB > cfg.MaxGeoMissFrac
+			if !cfg.SingleDBFallback || blameA == blameB {
+				return nil, &BudgetError{
+					Stage: "geolocate",
+					Reason: fmt.Sprintf("%.4f of %d crawled peers lost to missing/corrupt geolocation records (%s miss frac %.4f, %s miss frac %.4f)",
+						missFrac, n, dbA.Name, fracA, dbB.Name, fracB),
+					Frac:   missFrac,
+					Budget: cfg.MaxGeoMissFrac,
+				}
+			}
+			survivor, survivorMiss := dbA, fracA
+			lostDB, lostFrac := dbB, fracB
+			if blameA {
+				survivor, survivorMiss = dbB, fracB
+				lostDB, lostFrac = dbA, fracA
+			}
+			_ = survivorMiss
+			fbSpan := span.Child("locate_single_db_fallback")
+			results, err = runLocate(ctx, crawl, survivor, nil, origins, checked, cfg, wp, lookupsC)
+			fbSpan.End()
+			if err != nil {
+				return nil, err
+			}
+			counts = tally(results)
+			ds.Degraded = true
+			ds.DegradedReason = fmt.Sprintf(
+				"single-db fallback: %s miss fraction %.4f exceeded budget %.4f; rebuilt from %s only (no cross-database error estimates)",
+				lostDB.Name, lostFrac, cfg.MaxGeoMissFrac, survivor.Name)
+			if cfg.Obs != nil {
+				cfg.Obs.Counter("eyeball_pipeline_degraded_builds_total", "reason", "single_db_fallback").Inc()
+			}
+		}
+	}
+
+	// Origin-stage error budget: unmapped peers as a fraction of the
+	// peers that survived geolocation.
+	geoOut := n - counts.noCity - counts.garbage - counts.highGeoErr
+	if cfg.MaxOriginMissFrac > 0 && geoOut > 0 {
+		missFrac := float64(counts.unmapped) / float64(geoOut)
+		if missFrac > cfg.MaxOriginMissFrac {
+			return nil, &BudgetError{
+				Stage: "origin",
+				Reason: fmt.Sprintf("%.4f of %d geolocated peers matched no BGP prefix",
+					missFrac, geoOut),
+				Frac:   missFrac,
+				Budget: cfg.MaxOriginMissFrac,
+			}
+		}
+	}
 
 	aggSpan := span.Child("aggregate")
-	var noCity, highGeoErr, unmapped, dup int
+	seenIP := make(map[ipnet.Addr]astopo.ASN, len(crawl.Peers))
+	var dup int
 	for i, peer := range crawl.Peers {
 		r := results[i]
-		switch r.drop {
-		case dropNoCity:
-			noCity++
-			continue
-		case dropHighGeoErr:
-			highGeoErr++
-			continue
-		case dropUnmappedIP:
-			unmapped++
+		if r.drop != dropNone {
 			continue
 		}
 		rec := ds.ASes[r.asn]
@@ -255,48 +445,114 @@ func Build(crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Confi
 	}
 	aggSpan.End()
 
-	// Flush the peer-level funnel stages once per reason (the serial
-	// loop above used plain locals — no per-peer atomics) and derive
-	// the fixed-shape Drops view from the same counts.
-	n := len(crawl.Peers)
+	// Flush the peer-level funnel stages once per reason (the loops
+	// above used plain locals — no per-peer atomics) and derive the
+	// fixed-shape Drops view from the same counts.
 	stGeo.In(n)
-	stGeo.Drop("no_city", noCity)
-	stGeo.Drop("high_geo_err", highGeoErr)
-	geoOut := n - noCity - highGeoErr
+	stGeo.Drop("no_city", counts.noCity)
+	stGeo.Drop("garbage_coord", counts.garbage)
+	stGeo.Drop("high_geo_err", counts.highGeoErr)
 	stGeo.Out(geoOut)
 	stOrigin.In(geoOut)
-	stOrigin.Drop("unmapped_ip", unmapped)
-	originOut := geoOut - unmapped
+	stOrigin.Drop("unmapped_ip", counts.unmapped)
+	originOut := geoOut - counts.unmapped
 	stOrigin.Out(originOut)
 	stDedup.In(originOut)
 	stDedup.Drop("dup_ip", dup)
 	stDedup.Out(originOut - dup)
-	ds.Drops.NoCityRecord = noCity
-	ds.Drops.HighGeoErr = highGeoErr
-	ds.Drops.UnmappedIP = unmapped
+	ds.Drops.NoCityRecord = counts.noCity
+	ds.Drops.GarbageCoord = counts.garbage
+	ds.Drops.HighGeoErr = counts.highGeoErr
+	ds.Drops.UnmappedIP = counts.unmapped
 	ds.Drops.DupIP = dup
 
 	condSpan := span.Child("condition")
-	out := condition(ds, cfg, stCond)
+	out, err := condition(ctx, ds, cfg, stCond)
 	condSpan.End()
-	return out, nil
+	return out, err
 }
 
-// locateOne runs the pure per-peer stage: dual geolocation, error
-// estimation, the 100 km cut, and origin-AS lookup. checked is non-nil
-// when origins supports fallible lookups; a lookup error aborts the
-// whole build.
-func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, checked bgp.CheckedResolver, cfg Config) (located, error) {
-	recA := dbA.Locate(peer.IP, peer.TrueLoc)
-	recB := dbB.Locate(peer.IP, peer.TrueLoc)
-	geoErr, ok := geodb.CrossError(recA, recB)
-	if !ok {
-		return located{drop: dropNoCity}, nil
+// runLocate fans the pure per-peer stage out over the worker pool.
+// secondary == nil selects the single-database path (no cross-database
+// error estimate). wp, when non-nil, is the armed worker-panic
+// injection: it panics at hit peers, which the pool converts into a
+// *parallel.PanicError with the captured stack.
+func runLocate(ctx context.Context, crawl *p2p.Crawl, primary, secondary *geodb.DB, origins bgp.Resolver, checked bgp.CheckedResolver, cfg Config, wp *faults.Injector, lookupsC *obs.Counter) ([]located, error) {
+	results := make([]located, len(crawl.Peers))
+	err := parallel.Blocks(ctx, cfg.Workers, len(crawl.Peers), 0, func(lo, hi int) error {
+		var lookups int64
+		for i := lo; i < hi; i++ {
+			if wp.Hit(uint64(crawl.Peers[i].IP)) {
+				panic(fmt.Sprintf("faults: injected worker panic at peer %s", crawl.Peers[i].IP))
+			}
+			r, err := locateOne(crawl.Peers[i], primary, secondary, origins, checked, cfg)
+			if err != nil {
+				return err
+			}
+			if r.drop == dropNone || r.drop == dropUnmappedIP {
+				lookups++ // an origin lookup was actually performed
+			}
+			results[i] = r
+		}
+		lookupsC.Add(lookups)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if geoErr > cfg.MaxGeoErrKm {
-		return located{drop: dropHighGeoErr}, nil
+	return results, nil
+}
+
+// badCoord reports whether a coordinate pair is corrupt: NaN or outside
+// the valid latitude/longitude ranges. Such records come from broken
+// database rows (see faults.GeoGarbage / faults.GeoNaN) and must never
+// reach the KDE — a single NaN sample poisons the whole surface.
+func badCoord(lat, lon float64) bool {
+	return math.IsNaN(lat) || math.IsNaN(lon) || math.Abs(lat) > 90 || math.Abs(lon) > 180
+}
+
+// locateOne runs the pure per-peer stage: geolocation, error
+// estimation, the corruption and 100 km cuts, and origin-AS lookup.
+// secondary == nil is the single-database mode: no cross-database error
+// estimate exists, GeoErrKm is 0, and only the primary's record gates
+// the peer. checked is non-nil when origins supports fallible lookups;
+// a lookup error aborts the whole build.
+func locateOne(peer p2p.Peer, primary, secondary *geodb.DB, origins bgp.Resolver, checked bgp.CheckedResolver, cfg Config) (located, error) {
+	recA := primary.Locate(peer.IP, peer.TrueLoc)
+	var geoErr float64
+	var l located
+	if secondary == nil {
+		if !recA.HasCity {
+			return located{drop: dropNoCity, missA: true}, nil
+		}
+		if badCoord(recA.Loc.Lat, recA.Loc.Lon) {
+			return located{drop: dropGarbage}, nil
+		}
+	} else {
+		recB := secondary.Locate(peer.IP, peer.TrueLoc)
+		l.missA = !recA.HasCity
+		l.missB = !recB.HasCity
+		var ok bool
+		geoErr, ok = geodb.CrossError(recA, recB)
+		if !ok {
+			l.drop = dropNoCity
+			return l, nil
+		}
+		// Corrupt coordinates in either record: the cross-distance is
+		// meaningless (possibly NaN, which would sail past any >
+		// threshold), so these drop under their own reason before the
+		// error cut.
+		if badCoord(recA.Loc.Lat, recA.Loc.Lon) || badCoord(recB.Loc.Lat, recB.Loc.Lon) || math.IsNaN(geoErr) {
+			l.drop = dropGarbage
+			return l, nil
+		}
+		if geoErr > cfg.MaxGeoErrKm {
+			l.drop = dropHighGeoErr
+			return l, nil
+		}
 	}
 	var asn astopo.ASN
+	var ok bool
 	if checked != nil {
 		var err error
 		asn, ok, err = checked.OriginOfChecked(peer.IP)
@@ -307,19 +563,19 @@ func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, checked 
 		asn, ok = origins.OriginOf(peer.IP)
 	}
 	if !ok {
-		return located{drop: dropUnmappedIP}, nil
+		l.drop = dropUnmappedIP
+		return l, nil
 	}
-	return located{
-		asn: asn,
-		sample: core.Sample{
-			Loc:      recA.Loc,
-			City:     recA.City,
-			State:    recA.State,
-			Country:  recA.Country,
-			Region:   recA.Region,
-			GeoErrKm: geoErr,
-		},
-	}, nil
+	l.asn = asn
+	l.sample = core.Sample{
+		Loc:      recA.Loc,
+		City:     recA.City,
+		State:    recA.State,
+		Country:  recA.Country,
+		Region:   recA.Region,
+		GeoErrKm: geoErr,
+	}
+	return l, nil
 }
 
 // condition applies the AS-level filters and classification. The per-AS
@@ -328,7 +584,7 @@ func locateOne(peer p2p.Peer, dbA, dbB *geodb.DB, origins bgp.Resolver, checked 
 // worker pool into index-addressed verdicts; the filters and counters are
 // then applied serially in ascending-ASN order, making drop counts,
 // Order, and TotalPeers identical for every worker count.
-func condition(ds *Dataset, cfg Config, stCond *obs.Stage) *Dataset {
+func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage) (*Dataset, error) {
 	asns := make([]astopo.ASN, 0, len(ds.ASes))
 	for asn := range ds.ASes {
 		asns = append(asns, asn)
@@ -343,7 +599,7 @@ func condition(ds *Dataset, cfg Config, stCond *obs.Stage) *Dataset {
 		region  gazetteer.Region
 	}
 	verdicts := make([]verdict, len(asns))
-	_ = parallel.ForEach(cfg.Workers, asns, func(i int, asn astopo.ASN) error {
+	err := parallel.ForEach(ctx, cfg.Workers, asns, func(i int, asn astopo.ASN) error {
 		rec := ds.ASes[asn]
 		if len(rec.Samples) < cfg.MinPeers {
 			verdicts[i].small = true
@@ -365,6 +621,9 @@ func condition(ds *Dataset, cfg Config, stCond *obs.Stage) *Dataset {
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Per-AS P90 geo-error histogram (observed for every AS whose P90
 	// was computed, i.e. non-small ones) and AS-level drop counters.
@@ -410,19 +669,31 @@ func condition(ds *Dataset, cfg Config, stCond *obs.Stage) *Dataset {
 	if cfg.Obs != nil {
 		cfg.Obs.Gauge("eyeball_pipeline_eligible_ases").Set(float64(len(ds.Order)))
 	}
-	return ds
+	return ds, nil
 }
 
 // Run executes the entire methodology from a world: crawl, build the BGP
 // origin tables from three vantage tier-1s, and condition the dataset.
 // It is the one-call entry point used by the examples and experiments.
-func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *p2p.Crawl, error) {
+//
+// ctx cancels the run between crawl units, at RIB-construction
+// boundaries, and at the build's block boundaries (nil means
+// context.Background()). cfg.Faults, when set, is injected into the
+// crawl as well as the build, so one plan drives every ingestion
+// boundary.
+func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *p2p.Crawl, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := cfg.Obs.StartSpan("pipeline.run")
 	defer span.End()
 	if crawlCfg.Obs == nil {
 		crawlCfg.Obs = cfg.Obs
 	}
-	crawl, err := p2p.Run(w, crawlCfg, seedSource(crawlSeed))
+	if crawlCfg.Faults == nil {
+		crawlCfg.Faults = cfg.Faults
+	}
+	crawl, err := p2p.Run(ctx, w, crawlCfg, seedSource(crawlSeed))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -446,7 +717,7 @@ func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*D
 	}
 	ribs := make([]*bgp.RIB, len(vantages))
 	ribSpan := span.Child("bgp.ribs")
-	if err := parallel.ForEach(cfg.Workers, vantages, func(i int, vantage astopo.ASN) error {
+	if err := parallel.ForEach(ctx, cfg.Workers, vantages, func(i int, vantage astopo.ASN) error {
 		rib, err := bgp.BuildRIBObs(w, routing, vantage, cfg.Obs)
 		if err != nil {
 			return err
@@ -458,7 +729,7 @@ func Run(w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*D
 	}
 	ribSpan.End()
 	origins := bgp.NewOriginTableObs(cfg.Obs, ribs...)
-	ds, err := Build(crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
+	ds, err := Build(ctx, crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

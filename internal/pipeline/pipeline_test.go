@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -25,7 +26,7 @@ var sharedSetup = sync.OnceValues(func() (*sharedEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds, crawl, err := Run(w, p2p.DefaultConfig(), DefaultConfig(), 71)
+	ds, crawl, err := Run(context.Background(), w, p2p.DefaultConfig(), DefaultConfig(), 71)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +181,7 @@ func TestConfigValidation(t *testing.T) {
 		{MaxGeoErrKm: 100, MaxP90GeoErrKm: 0, MinPeers: 10},
 		{MaxGeoErrKm: 100, MaxP90GeoErrKm: 80, MinPeers: 0},
 	} {
-		if _, err := Build(crawl, nil, nil, nil, cfg); err == nil {
+		if _, err := Build(context.Background(), crawl, nil, nil, nil, cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -188,7 +189,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestDeterministicRun(t *testing.T) {
 	w, ds, _ := setup(t)
-	ds2, _, err := Run(w, p2p.DefaultConfig(), DefaultConfig(), 71)
+	ds2, _, err := Run(context.Background(), w, p2p.DefaultConfig(), DefaultConfig(), 71)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,12 +19,29 @@ type Summary struct {
 	Median float64
 }
 
+// checkNaN panics if the sample contains a NaN, naming the caller and
+// the offending index. A NaN silently absorbed by a sort-based
+// percentile or a Welford update does not crash — it quietly poisons
+// every downstream number (sort.Float64s places NaNs arbitrarily, and
+// mean/stddev become NaN without a trace of where the corruption
+// entered). The experiments' contract is that samples are cleaned at
+// ingestion (the pipeline drops non-finite coordinates), so a NaN here
+// is a bug upstream and the loudest possible failure is the right one.
+func checkNaN(fn string, xs []float64) {
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: %s: NaN at index %d of %d-point sample", fn, i, len(xs)))
+		}
+	}
+}
+
 // Summarize computes a Summary. The zero Summary is returned for an empty
-// sample.
+// sample. It panics if the sample contains a NaN (see checkNaN).
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
+	checkNaN("Summarize", xs)
 	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
 	// Welford's one-pass algorithm. The textbook E[x²]−mean² form
 	// catastrophically cancels for samples with a large common offset
@@ -58,7 +75,8 @@ func (s Summary) String() string {
 
 // Percentile returns the p-th percentile (0–100) of xs using linear
 // interpolation between closest ranks. It returns NaN for an empty sample
-// and panics if p is outside [0, 100].
+// and panics if p is outside [0, 100] or if the sample contains a NaN
+// (sort-based rank selection is meaningless over an unordered value).
 func Percentile(xs []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
@@ -66,6 +84,7 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
+	checkNaN("Percentile", xs)
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)

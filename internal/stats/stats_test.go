@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -308,5 +309,60 @@ func TestKSDistance(t *testing.T) {
 	d := KSDistance(a, c)
 	if d <= 0 || d >= 1 {
 		t.Errorf("shifted samples d = %v, want in (0,1)", d)
+	}
+}
+
+// mustPanic runs fn and fails the test unless it panics with a message
+// containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one mentioning %q)", want)
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestNaNDetection: a NaN anywhere in a sample must crash Percentile and
+// Summarize loudly, naming the function and index, instead of silently
+// poisoning the result (sort.Float64s places NaNs arbitrarily, so a
+// quiet answer would be nondeterministic garbage).
+func TestNaNDetection(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"leading", []float64{nan, 1, 2}},
+		{"middle", []float64{1, nan, 2}},
+		{"trailing", []float64{1, 2, nan}},
+		{"only", []float64{nan}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mustPanic(t, "Percentile: NaN", func() { Percentile(tc.xs, 50) })
+			mustPanic(t, "Summarize: NaN", func() { Summarize(tc.xs) })
+		})
+	}
+}
+
+// TestNaNDetectionCleanSamplesUnaffected: the guard must not change any
+// answer for finite samples, including infinities (which order fine).
+func TestNaNDetectionCleanSamplesUnaffected(t *testing.T) {
+	xs := []float64{3, 1, 2, math.Inf(1), math.Inf(-1)}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 {
+		t.Errorf("Summarize changed on clean input: %+v", s)
+	}
+	// Empty sample still returns NaN from Percentile, no panic.
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty-sample Percentile no longer NaN")
 	}
 }
