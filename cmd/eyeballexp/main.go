@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	worldPath := fs.String("world", "", "load the world from a snapshot written by eyeballgen -save")
 	outDir := fs.String("out", "", "directory to write per-experiment artifacts into")
 	expSel := fs.String("exp", "all", "experiment to run: all|table1|figure1|figure2|section5|dimes|casestudy|multiscale|bias|fusion|predict|degradation")
+	batch := fs.Int("batch", 0, "peers per streaming ingestion batch for the pipeline build (0 = default; output is identical for every setting)")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -83,13 +84,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg := eyeball.DefaultPipelineConfig()
 		cfg.Obs = reg
 		cfg.Faults = plan
+		cfg.BatchSize = *batch
 		env, err = eyeball.NewExperimentsWithWorldCtx(ctx, w, *seed, cfg)
 	case *paper:
-		env, err = eyeball.NewPaperScaleExperimentsCtx(ctx, *seed, reg, plan)
+		env, err = eyeball.NewPaperScaleExperimentsCtx(ctx, *seed, reg, plan, eyeball.WithBatchSize(*batch))
 	case *small:
-		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan)
+		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan, eyeball.WithBatchSize(*batch))
 	default:
-		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan)
+		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan, eyeball.WithBatchSize(*batch))
 	}
 	if err != nil {
 		return err

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eyeballgen [-seed N] [-small] [-rib out.rib] [-list]
+//	eyeballgen [-seed N] [-small] [-rib out.rib] [-peers out.peers] [-list]
 //	           [-faults spec] [-fault-seed N]
 //	           [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 //
@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	ribPath := fs.String("rib", "", "write a RouteViews-style RIB dump from a tier-1 vantage to this file")
 	jsonPath := fs.String("json", "", "write the full ground-truth world as JSON to this file")
 	savePath := fs.String("save", "", "write a reloadable world snapshot to this file")
+	peersPath := fs.String("peers", "", "stream the three simulated P2P crawls to this peers file (re-ingest with eyeballpipe pipelines via the streaming file source)")
 	list := fs.Bool("list", false, "list every AS")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
@@ -164,6 +165,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "  wrote world JSON to %s\n", *jsonPath)
+	}
+
+	if *peersPath != "" {
+		f, err := os.Create(*peersPath)
+		if err != nil {
+			return err
+		}
+		// The crawl is streamed unit by unit into the file — memory stays
+		// bounded no matter the world scale — and the sequence is exactly
+		// what a pipeline run with the same seed consumes.
+		n, err := eyeball.WriteCrawlPeers(ctx, f, w, eyeball.DefaultCrawlConfig(), *seed)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote %d crawled peers to %s\n", n, *peersPath)
 	}
 
 	if *savePath != "" {

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"eyeballas"
 )
 
 func TestRunSummary(t *testing.T) {
@@ -88,6 +91,53 @@ func TestRunJSONAndSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "snapshot") {
 		t.Error("no snapshot confirmation")
+	}
+}
+
+// TestRunPeersExport: -peers must stream the crawl to a headered file
+// whose contents round-trip through the streaming file source with the
+// exact count the CLI reported.
+func TestRunPeersExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crawl.peers")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-peers", path}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	idx := strings.Index(out.String(), "wrote ")
+	if idx < 0 {
+		t.Fatalf("no confirmation line:\n%s", out.String())
+	}
+	if _, err := fmt.Sscanf(out.String()[idx:], "wrote %d crawled peers", &want); err != nil {
+		t.Fatalf("cannot parse peer count: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("eyeballas-peers/1")) {
+		t.Errorf("peers file header missing: %.60s", data)
+	}
+	src := eyeball.PeerFileSource(path)
+	st, err := src.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]eyeball.Peer, 4096)
+	got := 0
+	for {
+		n, err := st.Next(buf)
+		got += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != want || want == 0 {
+		t.Errorf("file source replayed %d peers, CLI reported %d", got, want)
 	}
 }
 

@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	multiscale := fs.Bool("multiscale", false, "also run the multi-scale PoP refinement")
 	surface := fs.String("surface", "", "write the density surface(s) as gnuplot-ready lon/lat/density rows to this file (one block per bandwidth)")
 	workers := fs.Int("workers", 0, "worker goroutines for the KDE convolution and fan-outs (0 = all CPUs, 1 = serial; output is identical either way)")
+	batch := fs.Int("batch", 0, "peers per streaming ingestion batch for the pipeline build (0 = default; output is identical for every setting)")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -79,9 +80,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	var env *eyeball.Experiments
 	if *small {
-		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan)
+		env, err = eyeball.NewSmallExperimentsCtx(ctx, *seed, reg, plan, eyeball.WithBatchSize(*batch))
 	} else {
-		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan)
+		env, err = eyeball.NewExperimentsCtx(ctx, *seed, reg, plan, eyeball.WithBatchSize(*batch))
 	}
 	if err != nil {
 		return err

@@ -8,7 +8,12 @@
 //	eyeballpipe [-seed N] [-small] [-minpeers N] [-dump dataset.csv]
 //	            [-faults spec] [-fault-seed N] [-max-geo-miss F] [-max-origin-miss F]
 //	            [-single-db] [-single-db-fallback]
+//	            [-stream] [-batch N] [-as-sample-cap N]
 //	            [-quiet] [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// -stream runs the bounded-memory ingestion path: the crawl is generated
+// unit by unit and fed straight into the pipeline, never materialized.
+// Output is bit-identical to the default path (CI diffs the two).
 //
 // SIGINT/SIGTERM cancel the run: the pipeline's workers stop within one
 // work unit, the process exits non-zero, and -metrics still writes a
@@ -55,6 +60,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	maxOriginMiss := fs.Float64("max-origin-miss", 0, "abort the build when the origin-lookup miss fraction exceeds this budget (0 disables)")
 	singleDB := fs.Bool("single-db", false, "run with the primary geolocation database only (no cross-database error estimates; dataset marked degraded)")
 	singleDBFallback := fs.Bool("single-db-fallback", false, "when exactly one database blows the geo budget, retry with the survivor instead of failing")
+	stream := fs.Bool("stream", false, "stream the crawl straight into the pipeline without materializing it (bounded memory; output is bit-identical to the default path)")
+	batch := fs.Int("batch", 0, "peers per streaming ingestion batch (0 = default; bounds transient memory only, output is identical for every setting)")
+	sampleCap := fs.Int("as-sample-cap", 0, "cap per-AS retained samples via a deterministic reservoir + quantile sketch (0 = keep all, exact statistics)")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -106,7 +114,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.MaxOriginMissFrac = *maxOriginMiss
 	cfg.SingleDB = *singleDB
 	cfg.SingleDBFallback = *singleDBFallback
-	ds, err := eyeball.BuildTargetDatasetCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	cfg.BatchSize = *batch
+	cfg.MaxSamplesPerAS = *sampleCap
+	var ds *eyeball.Dataset
+	if *stream {
+		ds, err = eyeball.BuildTargetDatasetStreamCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	} else {
+		ds, err = eyeball.BuildTargetDatasetCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	}
 	if err != nil {
 		return err
 	}

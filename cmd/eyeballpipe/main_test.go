@@ -107,6 +107,56 @@ func TestRunFromSnapshot(t *testing.T) {
 	}
 }
 
+// TestRunStreamIdenticalToBatch: -stream must produce byte-identical
+// stdout to the default materialized path, for any -batch, with and
+// without fault injection — the CLI-level face of the bit-identity
+// guarantee the differential harness pins at the package level.
+func TestRunStreamIdenticalToBatch(t *testing.T) {
+	cases := []struct {
+		name   string
+		shared []string // args both runs get (fault plans must match)
+		stream []string // extra args for the streaming run only
+	}{
+		{"default batch", nil, []string{"-stream"}},
+		{"batch 7", nil, []string{"-stream", "-batch", "7"}},
+		{"batch larger than crawl", nil, []string{"-stream", "-batch", "100000"}},
+		{"with faults", []string{"-faults", "geo-miss=0.05,crawl-dup=0.05", "-fault-seed", "7"}, []string{"-stream"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := append([]string{"-small", "-seed", "5"}, tc.shared...)
+			var ref, got bytes.Buffer
+			if err := run(context.Background(), base, &ref, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(context.Background(), append(append([]string{}, base...), tc.stream...), &got, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			if ref.String() != got.String() {
+				t.Errorf("-stream output differs from batch:\n--- batch ---\n%s\n--- stream ---\n%s", ref.String(), got.String())
+			}
+		})
+	}
+}
+
+// TestRunSampleCap: -as-sample-cap must succeed and keep the funnel
+// conserved; the dataset head line is unchanged (the cap redistributes
+// retention, not eligibility, when generous).
+func TestRunSampleCap(t *testing.T) {
+	var capped bytes.Buffer
+	if err := run(context.Background(), []string{"-small", "-seed", "5", "-stream", "-as-sample-cap", "100000"}, &capped, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	if err := run(context.Background(), []string{"-small", "-seed", "5"}, &ref, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// A cap far above any AS's peer count is exactly the uncapped build.
+	if capped.String() != ref.String() {
+		t.Error("generous -as-sample-cap changed the output")
+	}
+}
+
 // TestRunBadInputs drives every user-error path through run(): unknown
 // flags, malformed fault specs, unreadable or corrupt input files. Each
 // must surface as a non-nil error, never a panic or a zero exit.

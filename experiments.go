@@ -108,20 +108,34 @@ func NewExperimentsWithWorld(w *World, seed uint64, cfg PipelineConfig) (*Experi
 // observes it (nil means context.Background()) — and an optional
 // fault-injection plan threaded into the pipeline build. A nil plan is
 // the unfaulted, bit-identical default.
-func NewExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
-	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleDefault, reg, plan)
+func NewExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan, opts ...ExperimentsOption) (*Experiments, error) {
+	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleDefault, reg, plan, opts...)
 }
 
 // NewSmallExperimentsCtx is NewExperimentsCtx at test scale.
-func NewSmallExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
-	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleSmall, reg, plan)
+func NewSmallExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan, opts ...ExperimentsOption) (*Experiments, error) {
+	return experiments.NewEnvCtx(ctx, seed, experiments.ScaleSmall, reg, plan, opts...)
 }
 
 // NewPaperScaleExperimentsCtx is NewExperimentsCtx at the paper's
 // population.
-func NewPaperScaleExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan) (*Experiments, error) {
-	return experiments.NewPaperScaleEnvCtx(ctx, seed, reg, plan)
+func NewPaperScaleExperimentsCtx(ctx context.Context, seed uint64, reg *Registry, plan *FaultPlan, opts ...ExperimentsOption) (*Experiments, error) {
+	return experiments.NewPaperScaleEnvCtx(ctx, seed, reg, plan, opts...)
 }
+
+// ExperimentsOption adjusts the pipeline configuration an experiments
+// environment is built with.
+type ExperimentsOption = experiments.EnvOption
+
+// WithBatchSize sets the streaming ingestion batch size for the
+// environment's pipeline build (bit-identical output for every setting;
+// the knob bounds transient memory only).
+func WithBatchSize(n int) ExperimentsOption { return experiments.WithBatchSize(n) }
+
+// WithMaxSamplesPerAS caps per-AS sample retention in the environment's
+// pipeline build (deterministic reservoir + quantile sketch; 0 keeps
+// every sample).
+func WithMaxSamplesPerAS(n int) ExperimentsOption { return experiments.WithMaxSamplesPerAS(n) }
 
 // NewExperimentsWithWorldCtx is NewExperimentsWithWorld with a
 // cancellation context stored on the environment. Fault injection is

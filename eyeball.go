@@ -78,6 +78,14 @@ type (
 	PipelineConfig = pipeline.Config
 	// CrawlConfig controls the P2P crawl simulation.
 	CrawlConfig = p2p.Config
+	// Peer is one observed P2P user.
+	Peer = p2p.Peer
+	// PeerStream is a pull iterator over crawled peers (io.Reader-style
+	// Next contract).
+	PeerStream = p2p.PeerStream
+	// PeerSource opens replayable peer streams — the ingestion shape the
+	// streaming pipeline consumes without materializing a crawl.
+	PeerSource = p2p.PeerSource
 
 	// Registry collects the metrics, spans, and funnels of one run;
 	// assign one to PipelineConfig.Obs / CrawlConfig.Obs /
@@ -160,6 +168,44 @@ func BuildTargetDatasetWithConfig(w *World, crawlCfg CrawlConfig, cfg PipelineCo
 func BuildTargetDatasetCtx(ctx context.Context, w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, error) {
 	ds, _, err := pipeline.Run(ctx, w, crawlCfg, cfg, seed)
 	return ds, err
+}
+
+// BuildTargetDatasetStreamCtx is BuildTargetDatasetCtx on the streaming
+// ingestion engine: the crawl is generated unit by unit and fed straight
+// into the pipeline, so no peer slice is ever materialized and peak
+// memory is bounded by the kept users (plus cfg.BatchSize transient
+// state), not the crawl size. The dataset is bit-identical to
+// BuildTargetDatasetCtx's for the same inputs.
+func BuildTargetDatasetStreamCtx(ctx context.Context, w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, error) {
+	return pipeline.RunStream(ctx, w, crawlCfg, cfg, seed)
+}
+
+// CrawlPeerSource returns the replayable streaming source of the three
+// simulated crawls — the same peer sequence BuildTargetDataset* consume
+// for this (world, crawlCfg, seed) — for callers that want to pump peers
+// through pipeline ingestion or export themselves.
+func CrawlPeerSource(w *World, crawlCfg CrawlConfig, seed uint64) PeerSource {
+	return pipeline.CrawlSource(w, crawlCfg, seed)
+}
+
+// WriteCrawlPeers streams the crawl for (w, crawlCfg, seed) into out in
+// the textual peers-file format (header + "ip app asn lat lon" rows,
+// bit-exact round trip) without materializing it, and returns the number
+// of peers written. Read the file back with PeerFileSource.
+func WriteCrawlPeers(ctx context.Context, out io.Writer, w *World, crawlCfg CrawlConfig, seed uint64) (int, error) {
+	return p2p.WritePeers(ctx, out, CrawlPeerSource(w, crawlCfg, seed))
+}
+
+// PeerFileSource reads a peers file written by WriteCrawlPeers; feed it
+// to BuildTargetDatasetFromSourceCtx to run the pipeline over
+// pre-crawled data at bounded memory.
+func PeerFileSource(path string) PeerSource { return p2p.FileSource(path) }
+
+// BuildTargetDatasetFromSourceCtx runs pipeline steps 2–4 over an
+// arbitrary replayable peer source against the world's databases and BGP
+// tables — the fully streaming Build entry point.
+func BuildTargetDatasetFromSourceCtx(ctx context.Context, w *World, src PeerSource, cfg PipelineConfig) (*Dataset, error) {
+	return pipeline.BuildFromSource(ctx, w, src, cfg)
 }
 
 // EstimateFootprint runs the paper's §3–§4 procedure for one AS's

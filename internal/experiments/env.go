@@ -62,6 +62,25 @@ func (e *Env) ctx() context.Context {
 	return context.Background()
 }
 
+// EnvOption adjusts the pipeline configuration an environment is built
+// with — the hook the CLIs use to surface streaming-ingestion knobs
+// without growing every constructor's signature.
+type EnvOption func(*pipeline.Config)
+
+// WithBatchSize sets the streaming ingestion batch size (pipeline
+// Config.BatchSize); <= 0 keeps the default. Datasets are bit-identical
+// for every setting — the knob bounds transient memory only.
+func WithBatchSize(n int) EnvOption {
+	return func(c *pipeline.Config) { c.BatchSize = n }
+}
+
+// WithMaxSamplesPerAS caps per-AS sample retention (pipeline
+// Config.MaxSamplesPerAS): reservoir samples plus sketch-backed P90
+// statistics at bounded memory. 0 keeps every sample.
+func WithMaxSamplesPerAS(n int) EnvOption {
+	return func(c *pipeline.Config) { c.MaxSamplesPerAS = n }
+}
+
 // NewEnv generates the full experimental environment.
 func NewEnv(seed uint64, scale Scale) (*Env, error) {
 	return NewEnvObs(seed, scale, nil)
@@ -80,7 +99,7 @@ func NewEnvObs(seed uint64, scale Scale, reg *obs.Registry) (*Env, error) {
 // experiments launch observes it (nil means context.Background()) —
 // and an optional fault-injection plan threaded into the pipeline
 // build. A nil plan is the unfaulted, bit-identical default.
-func NewEnvCtx(ctx context.Context, seed uint64, scale Scale, reg *obs.Registry, plan *faults.Plan) (*Env, error) {
+func NewEnvCtx(ctx context.Context, seed uint64, scale Scale, reg *obs.Registry, plan *faults.Plan, opts ...EnvOption) (*Env, error) {
 	var cfg astopo.Config
 	var pipeCfg pipeline.Config
 	switch scale {
@@ -96,6 +115,9 @@ func NewEnvCtx(ctx context.Context, seed uint64, scale Scale, reg *obs.Registry,
 	}
 	pipeCfg.Obs = reg
 	pipeCfg.Faults = plan
+	for _, opt := range opts {
+		opt(&pipeCfg)
+	}
 	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(cfg)
 	genSpan.End()
@@ -120,7 +142,7 @@ func NewPaperScaleEnvObs(seed uint64, reg *obs.Registry) (*Env, error) {
 
 // NewPaperScaleEnvCtx is NewPaperScaleEnvObs with a cancellation
 // context stored on the environment and an optional fault plan.
-func NewPaperScaleEnvCtx(ctx context.Context, seed uint64, reg *obs.Registry, plan *faults.Plan) (*Env, error) {
+func NewPaperScaleEnvCtx(ctx context.Context, seed uint64, reg *obs.Registry, plan *faults.Plan, opts ...EnvOption) (*Env, error) {
 	genSpan := reg.StartSpan("experiments.generate_world")
 	w, err := astopo.Generate(astopo.PaperConfig(seed))
 	genSpan.End()
@@ -130,6 +152,9 @@ func NewPaperScaleEnvCtx(ctx context.Context, seed uint64, reg *obs.Registry, pl
 	pipeCfg := pipeline.PaperConfig()
 	pipeCfg.Obs = reg
 	pipeCfg.Faults = plan
+	for _, opt := range opts {
+		opt(&pipeCfg)
+	}
 	return NewEnvWithWorldCtx(ctx, w, seed, pipeCfg)
 }
 

@@ -21,6 +21,14 @@
 // bit-identical to no plan at all (Injector returns nil, and every
 // Injector method is a nil-safe no-op).
 //
+// Site keys must be derived from record identity (an IP address, a
+// stream position, a crawl unit), never from where the record happens
+// to sit in a processing batch. The streaming ingestion path re-batches
+// the same peer sequence at arbitrary sizes; identity-keyed sites are
+// what keep a plan's injections bit-identical across every BatchSize
+// and Workers setting — and identical between the streaming and
+// materialized Build paths.
+//
 // The package is a dependency leaf (stdlib only) so every ingestion
 // package — p2p, geodb, bgp, pipeline, parallel consumers — can import
 // it without cycles.

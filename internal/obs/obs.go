@@ -92,6 +92,25 @@ func (g *Gauge) Add(d float64) {
 	}
 }
 
+// SetMax raises the gauge to v if v exceeds the current value — a
+// monotone high-watermark, safe under concurrent publishers (the
+// streaming pipeline uses it for peak live-sample and dedup-set
+// gauges). No-op on a nil receiver.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 for a nil receiver).
 func (g *Gauge) Value() float64 {
 	if g == nil {

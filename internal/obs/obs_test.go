@@ -50,6 +50,28 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeSetMax: SetMax ratchets monotonically — lower values never
+// move the gauge, higher ones do, and a nil gauge is a no-op (the
+// streaming pipeline publishes its peak watermarks through this).
+func TestGaugeSetMax(t *testing.T) {
+	r := New()
+	g := r.Gauge("peak")
+	g.SetMax(5)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax(3) lowered the gauge to %v", got)
+	}
+	g.SetMax(9.5)
+	if got := g.Value(); got != 9.5 {
+		t.Fatalf("gauge = %v, want 9.5", got)
+	}
+	var nilG *Gauge
+	nilG.SetMax(1) // must not panic
+}
+
 // TestNilRegistryIsNoOp proves the disabled state: every handle off a nil
 // registry is nil and every method on it is a safe no-op.
 func TestNilRegistryIsNoOp(t *testing.T) {

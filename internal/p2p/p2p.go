@@ -18,6 +18,7 @@ package p2p
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 
 	"eyeballas/internal/astopo"
@@ -133,116 +134,149 @@ func (c Config) validate() error {
 // Crawl is the combined result of the three crawls.
 type Crawl struct {
 	Peers []Peer
+	// ByApp counts recorded observations per app — including any
+	// faults.CrawlDup duplicate records, which appear in Peers too —
+	// so its sum always equals len(Peers).
 	ByApp map[App]int
 }
 
-// Run executes all three crawls over the world. The result is
-// deterministic in (world, src seed, cfg.Faults), with or without an
-// observability registry in cfg.Obs. Cancellation is observed between
-// (AS, app) crawl units: a cancelled run returns ctx.Err() and the
-// partial crawl is discarded. A nil ctx means context.Background().
+// Run executes all three crawls over the world by draining a
+// NewCrawlSource stream, so the materialized crawl and the streaming
+// path are identical by construction. The result is deterministic in
+// (world, src seed, cfg.Faults), with or without an observability
+// registry in cfg.Obs. Cancellation is observed between per-AS crawl
+// units: a cancelled run returns ctx.Err() and the partial crawl is
+// discarded. A nil ctx means context.Background().
 func Run(ctx context.Context, w *astopo.World, cfg Config, src *rng.Source) (*Crawl, error) {
-	if err := cfg.validate(); err != nil {
+	st, err := NewCrawlSource(w, cfg, src).Stream(ctx)
+	if err != nil {
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	span := cfg.Obs.StartSpan("p2p.crawl")
-	defer span.End()
-	// Per-app accounting: raw contacts observed (before the crawlers'
-	// unique-IP dedup), unique peers reported, and dedup-suppressed
-	// repeats. Registered once, flushed per (AS, app) — never per draw.
-	contactsC := make([]*obs.Counter, len(Apps))
-	peersC := make([]*obs.Counter, len(Apps))
-	dupsC := make([]*obs.Counter, len(Apps))
-	if cfg.Obs != nil {
-		for _, app := range Apps {
-			contactsC[app] = cfg.Obs.Counter("eyeball_crawl_contacts_total", "app", app.String())
-			peersC[app] = cfg.Obs.Counter("eyeball_crawl_peers_total", "app", app.String())
-			dupsC[app] = cfg.Obs.Counter("eyeball_crawl_dup_contacts_total", "app", app.String())
-		}
-	}
-	loss := cfg.Faults.Injector(faults.CrawlLoss)
-	dup := cfg.Faults.Injector(faults.CrawlDup)
-	var lostC, injDupC *obs.Counter
-	if cfg.Obs != nil && (loss != nil || dup != nil) {
-		lostC = cfg.Obs.Counter("eyeball_crawl_injected_lost_total")
-		injDupC = cfg.Obs.Counter("eyeball_crawl_injected_dup_total")
-	}
-	placer := users.NewPlacer(w)
 	out := &Crawl{ByApp: make(map[App]int)}
-	for _, a := range w.ASes() {
-		if a.Customers <= 0 {
-			continue
+	buf := make([]Peer, 4096)
+	for {
+		n, err := st.Next(buf)
+		for i := 0; i < n; i++ {
+			out.Peers = append(out.Peers, buf[i])
+			out.ByApp[buf[i].App]++
 		}
-		if err := ctx.Err(); err != nil {
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
 			return nil, err
 		}
+	}
+}
+
+// crawlState bundles what every (AS, app) crawl unit consumes: the
+// world's placer, the armed fault injectors, and the per-app crawl
+// counters. One crawlState serves one stream (or one Run).
+type crawlState struct {
+	cfg       Config
+	placer    *users.Placer
+	loss, dup *faults.Injector
+	// Per-app accounting: raw contacts observed (before the crawlers'
+	// unique-IP dedup), peers reported, and dedup-suppressed repeats.
+	// Registered once, flushed per (AS, app) — never per draw.
+	contactsC, peersC, dupsC []*obs.Counter
+	lostC, injDupC           *obs.Counter
+}
+
+func newCrawlState(w *astopo.World, cfg Config) *crawlState {
+	cs := &crawlState{
+		cfg:       cfg,
+		placer:    users.NewPlacer(w),
+		loss:      cfg.Faults.Injector(faults.CrawlLoss),
+		dup:       cfg.Faults.Injector(faults.CrawlDup),
+		contactsC: make([]*obs.Counter, len(Apps)),
+		peersC:    make([]*obs.Counter, len(Apps)),
+		dupsC:     make([]*obs.Counter, len(Apps)),
+	}
+	if cfg.Obs != nil {
 		for _, app := range Apps {
-			pen := cfg.Penetration[app][a.Region]
-			if pen <= 0 {
-				continue
-			}
-			appUsers := float64(a.Customers) * pen * cfg.Scale
-			s := src.SplitN(fmt.Sprintf("crawl-%s", app), int(a.ASN))
-			var n int
-			switch app {
-			case Kad:
-				n = kadObserved(s, appUsers, cfg.KadZones)
-			case Gnutella:
-				n = gnutellaObserved(s, appUsers)
-			case BitTorrent:
-				n = bittorrentObserved(s, appUsers, cfg.Torrents)
-			}
-			if n == 0 {
-				continue
-			}
-			seen := make(map[ipnet.Addr]bool, n)
-			unique, lost, injDups := 0, 0, 0
-			for i := 0; i < n; i++ {
-				u := users.User{
-					IP:      placer.IPFor(a, s),
-					ASN:     a.ASN,
-					TrueLoc: placer.Place(a, s),
-				}
-				if seen[u.IP] {
-					continue // crawlers report unique IPs per app
-				}
-				seen[u.IP] = true
-				// crawl-loss: the crawler contacted the peer but the
-				// response was lost before being recorded. The decision is
-				// per (IP, app), after dedup, so the same plan always
-				// loses the same peers — and the RNG draw sequence above
-				// is untouched, so a zero-rate plan is bit-identical.
-				if loss.Hit2(uint64(u.IP), uint64(app)) {
-					lost++
-					continue
-				}
-				unique++
-				peer := Peer{
-					IP: u.IP, App: app, TrueASN: u.ASN, TrueLoc: u.TrueLoc,
-				}
-				out.Peers = append(out.Peers, peer)
-				out.ByApp[app]++
-				// crawl-dup: the same response recorded twice (a retry
-				// that both landed); downstream unique-IP dedup absorbs it.
-				if dup.Hit2(uint64(u.IP), uint64(app)) {
-					injDups++
-					out.Peers = append(out.Peers, peer)
-					out.ByApp[app]++
-				}
-			}
-			contactsC[app].Add(int64(n))
-			peersC[app].Add(int64(unique))
-			dupsC[app].Add(int64(n - unique - lost))
-			if lostC != nil {
-				lostC.Add(int64(lost))
-				injDupC.Add(int64(injDups))
-			}
+			cs.contactsC[app] = cfg.Obs.Counter("eyeball_crawl_contacts_total", "app", app.String())
+			cs.peersC[app] = cfg.Obs.Counter("eyeball_crawl_peers_total", "app", app.String())
+			cs.dupsC[app] = cfg.Obs.Counter("eyeball_crawl_dup_contacts_total", "app", app.String())
+		}
+		if cs.loss != nil || cs.dup != nil {
+			cs.lostC = cfg.Obs.Counter("eyeball_crawl_injected_lost_total")
+			cs.injDupC = cfg.Obs.Counter("eyeball_crawl_injected_dup_total")
 		}
 	}
-	return out, nil
+	return cs
+}
+
+// unit simulates one (AS, app) crawl unit, invoking emit for every
+// recorded observation — including injected duplicate records — in a
+// fixed order that depends only on (world, seed, plan), never on how
+// the caller batches or schedules the output.
+func (cs *crawlState) unit(a *astopo.AS, app App, src *rng.Source, emit func(Peer)) {
+	cfg := cs.cfg
+	pen := cfg.Penetration[app][a.Region]
+	if pen <= 0 {
+		return
+	}
+	appUsers := float64(a.Customers) * pen * cfg.Scale
+	s := src.SplitN(fmt.Sprintf("crawl-%s", app), int(a.ASN))
+	var n int
+	switch app {
+	case Kad:
+		n = kadObserved(s, appUsers, cfg.KadZones)
+	case Gnutella:
+		n = gnutellaObserved(s, appUsers)
+	case BitTorrent:
+		n = bittorrentObserved(s, appUsers, cfg.Torrents)
+	}
+	if n == 0 {
+		return
+	}
+	seen := make(map[ipnet.Addr]bool, n)
+	unique, lost, injDups := 0, 0, 0
+	for i := 0; i < n; i++ {
+		u := users.User{
+			IP:      cs.placer.IPFor(a, s),
+			ASN:     a.ASN,
+			TrueLoc: cs.placer.Place(a, s),
+		}
+		if seen[u.IP] {
+			continue // crawlers report unique IPs per app
+		}
+		seen[u.IP] = true
+		// crawl-loss: the crawler contacted the peer but the
+		// response was lost before being recorded. The decision is
+		// per (IP, app), after dedup, so the same plan always
+		// loses the same peers — and the RNG draw sequence above
+		// is untouched, so a zero-rate plan is bit-identical.
+		if cs.loss.Hit2(uint64(u.IP), uint64(app)) {
+			lost++
+			continue
+		}
+		unique++
+		peer := Peer{
+			IP: u.IP, App: app, TrueASN: u.ASN, TrueLoc: u.TrueLoc,
+		}
+		emit(peer)
+		// crawl-dup: the same response recorded twice (a retry
+		// that both landed); downstream unique-IP dedup absorbs it.
+		if cs.dup.Hit2(uint64(u.IP), uint64(app)) {
+			injDups++
+			emit(peer)
+		}
+	}
+	cs.contactsC[app].Add(int64(n))
+	// Peers reported = every record the crawler handed over, injected
+	// duplicates included — so the per-app counters sum to the crawl
+	// size (and to the pipeline's CrawledPeers) under any fault plan.
+	// The injected-dup share stays separately visible in injDupC.
+	// (Counting only unique peers here used to undercount against
+	// ByApp whenever CrawlDup was armed.)
+	cs.peersC[app].Add(int64(unique + injDups))
+	cs.dupsC[app].Add(int64(n - unique - lost))
+	if cs.lostC != nil {
+		cs.lostC.Add(int64(lost))
+		cs.injDupC.Add(int64(injDups))
+	}
 }
 
 // kadObserved models a DHT ID-space walk: the crawler sweeps KadZones

@@ -1,0 +1,254 @@
+package p2p
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eyeballas/internal/faults"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/rng"
+)
+
+// drain collects a stream with a fixed buffer size, checking the
+// io.Reader-style contract along the way.
+func drain(t *testing.T, st PeerStream, bufSize int) []Peer {
+	t.Helper()
+	buf := make([]Peer, bufSize)
+	var out []Peer
+	for {
+		n, err := st.Next(buf)
+		if n < 0 || n > bufSize {
+			t.Fatalf("Next returned n=%d outside [0,%d]", n, bufSize)
+		}
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			// Exhausted streams must keep answering io.EOF.
+			if n2, err2 := st.Next(buf); n2 != 0 || err2 != io.EOF {
+				t.Fatalf("post-EOF Next = (%d, %v), want (0, io.EOF)", n2, err2)
+			}
+			return out
+		}
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+	}
+}
+
+// TestCrawlSourceMatchesRunAndReplays: the generative source must
+// deliver exactly the sequence Run materializes, deliver it identically
+// for any read granularity, and replay it on a second Stream call — the
+// property the pipeline's single-DB fallback rides on.
+func TestCrawlSourceMatchesRunAndReplays(t *testing.T) {
+	w, c := crawlWorld(t, 41)
+	src := NewCrawlSource(w, DefaultConfig(), rng.New(41).Split("p2p"))
+
+	st1, err := src.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, st1, 4096)
+	if !reflect.DeepEqual(first, c.Peers) {
+		t.Fatalf("streamed sequence differs from Run's crawl (%d vs %d peers)", len(first), len(c.Peers))
+	}
+
+	st2, err := src.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := drain(t, st2, 17) // deliberately awkward buffer size
+	if !reflect.DeepEqual(replay, first) {
+		t.Fatal("replayed stream differs from the first pass")
+	}
+}
+
+// TestSlicePeersSource: the in-memory adapter is replayable and honors
+// the final-short-batch EOF convention.
+func TestSlicePeersSource(t *testing.T) {
+	_, c := crawlWorld(t, 41)
+	peers := c.Peers[:100]
+	src := SlicePeers(peers)
+	for _, bufSize := range []int{1, 33, 100, 1000} {
+		st, err := src.Stream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drain(t, st, bufSize); !reflect.DeepEqual(got, peers) {
+			t.Fatalf("bufSize=%d: sequence differs", bufSize)
+		}
+	}
+	st, err := SlicePeers(nil).Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, st, 8); len(got) != 0 {
+		t.Fatalf("empty source delivered %d peers", len(got))
+	}
+}
+
+// TestCrawlSourceCancellation: a cancelled context stops the stream with
+// ctx.Err() between crawl units, same granularity as Run.
+func TestCrawlSourceCancellation(t *testing.T) {
+	w, _ := crawlWorld(t, 41)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := NewCrawlSource(w, DefaultConfig(), rng.New(41).Split("p2p")).Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Peer, 64)
+	for i := 0; i < 1000; i++ {
+		n, err := st.Next(buf)
+		if err == context.Canceled {
+			if n != 0 {
+				t.Fatalf("cancelled Next delivered %d peers alongside the error", n)
+			}
+			return
+		}
+		if err == io.EOF {
+			t.Fatal("cancelled stream ran to completion")
+		}
+		if err != nil {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	t.Fatal("cancelled stream never stopped")
+}
+
+// TestWritePeersFileRoundTrip: WritePeers → FileSource must reproduce
+// the peer sequence bit-exactly (coordinates use shortest round-trip
+// formatting), and the file source must replay.
+func TestWritePeersFileRoundTrip(t *testing.T) {
+	_, c := crawlWorld(t, 41)
+	peers := c.Peers[:2000]
+	path := filepath.Join(t.TempDir(), "peers.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WritePeers(context.Background(), f, SlicePeers(peers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(peers) {
+		t.Fatalf("WritePeers reported %d peers, want %d", n, len(peers))
+	}
+	src := FileSource(path)
+	for _, bufSize := range []int{4096, 7} { // second pass proves replayability
+		st, err := src.Stream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, st, bufSize)
+		if !reflect.DeepEqual(got, peers) {
+			t.Fatalf("bufSize=%d: round-tripped peers differ", bufSize)
+		}
+	}
+}
+
+// TestFileSourceRejectsGarbage: missing header and corrupt lines surface
+// as errors naming the file, never as silently-parsed peers.
+func TestFileSourceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	noHeader := filepath.Join(dir, "nope.txt")
+	if err := os.WriteFile(noHeader, []byte("hello world\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FileSource(noHeader).Stream(context.Background()); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("headerless file: got %v, want header error", err)
+	}
+
+	badLine := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badLine, []byte(peersHeader+"\n1.2.3.4 kad not-an-asn 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := FileSource(badLine).Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(make([]Peer, 8)); err == nil || !strings.Contains(err.Error(), "bad.txt:2") {
+		t.Fatalf("corrupt line: got %v, want positioned parse error", err)
+	}
+
+	if _, err := FileSource(filepath.Join(dir, "missing.txt")).Stream(context.Background()); err == nil {
+		t.Fatal("missing file: got nil error")
+	}
+}
+
+// TestParseAppRoundTrip: ParseApp inverts App.String for every app and
+// rejects unknown names.
+func TestParseAppRoundTrip(t *testing.T) {
+	for _, app := range Apps {
+		got, err := ParseApp(app.String())
+		if err != nil || got != app {
+			t.Fatalf("ParseApp(%q) = %v, %v", app.String(), got, err)
+		}
+	}
+	if _, err := ParseApp("napster"); err == nil {
+		t.Fatal("ParseApp accepted an unknown app")
+	}
+}
+
+// TestCrawlDupAccounting is the PR's accounting regression test: with
+// crawl-dup injection armed, every recorded observation — injected
+// duplicates included — must count once in ByApp and once in the per-app
+// peer counters, so sum(ByApp) == len(Peers) == sum(peers_total) and the
+// funnel's crawl == kept + drops arithmetic starts from a consistent
+// crawl size. (peersC used to count unique peers only, undercounting
+// whenever CrawlDup was armed.)
+func TestCrawlDupAccounting(t *testing.T) {
+	w, clean := crawlWorld(t, 41)
+
+	plan := faults.NewPlan(7)
+	if err := plan.Set(faults.CrawlDup, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	cfg.Faults = plan
+	c, err := Run(context.Background(), w, cfg, rng.New(41).Split("p2p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(c.Peers) <= len(clean.Peers) {
+		t.Fatalf("5%% crawl-dup did not grow the crawl: %d vs clean %d", len(c.Peers), len(clean.Peers))
+	}
+	injected := reg.Counter("eyeball_crawl_injected_dup_total").Value()
+	if injected == 0 {
+		t.Fatal("no injected duplicates recorded at 5%")
+	}
+	if got, want := len(c.Peers)-len(clean.Peers), int(injected); got != want {
+		t.Fatalf("crawl grew by %d peers but %d duplicates were injected", got, want)
+	}
+
+	// ByApp must agree with a direct census of the peer slice and sum to
+	// the crawl size.
+	census := make(map[App]int)
+	for _, p := range c.Peers {
+		census[p.App]++
+	}
+	sum := 0
+	var counterSum int64
+	for _, app := range Apps {
+		if c.ByApp[app] != census[app] {
+			t.Errorf("ByApp[%s] = %d, census says %d", app, c.ByApp[app], census[app])
+		}
+		sum += c.ByApp[app]
+		counterSum += reg.Counter("eyeball_crawl_peers_total", "app", app.String()).Value()
+	}
+	if sum != len(c.Peers) {
+		t.Errorf("sum(ByApp) = %d, want len(Peers) = %d", sum, len(c.Peers))
+	}
+	if counterSum != int64(len(c.Peers)) {
+		t.Errorf("sum(eyeball_crawl_peers_total) = %d, want len(Peers) = %d", counterSum, len(c.Peers))
+	}
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/ipnet"
+)
+
+// defaultDedupShards is the shard count for the streaming dedup set.
+// 256 shards keep each shard's map two orders of magnitude smaller
+// than a single global map, which bounds the transient of any one
+// incremental rehash to ~1/256 of the kept-IP set.
+const defaultDedupShards = 256
+
+// shardedSet is the streaming unique-IP set: membership sharded by the
+// top bits of a splitmix64 hash of the address. Semantically it is a
+// plain set — Add(a) reports first sight of a, independent of insertion
+// order or batching — but physically each shard is its own map, so
+// growth happens in per-shard steps instead of one crawl-sized doubling
+// spike, and the peak overhead of a resize is bounded per shard.
+//
+// The top bits (rather than a modulus over the raw address) spread
+// structured address space: crawled IPs cluster heavily by prefix, and
+// the finalizer decorrelates the shard choice from that structure so
+// shards stay balanced.
+type shardedSet struct {
+	shift  uint
+	shards []map[ipnet.Addr]struct{}
+}
+
+// newShardedSet builds a set with nshards rounded up to a power of two
+// (nshards <= 0 selects defaultDedupShards).
+func newShardedSet(nshards int) *shardedSet {
+	if nshards <= 0 {
+		nshards = defaultDedupShards
+	}
+	pow := 1
+	for pow < nshards {
+		pow <<= 1
+	}
+	return &shardedSet{
+		shift:  uint(64 - bitsFor(pow)),
+		shards: make([]map[ipnet.Addr]struct{}, pow),
+	}
+}
+
+// bitsFor returns log2 of a power of two.
+func bitsFor(pow int) int {
+	b := 0
+	for pow > 1 {
+		pow >>= 1
+		b++
+	}
+	return b
+}
+
+// Add inserts a and reports whether it was absent (first sight).
+func (s *shardedSet) Add(a ipnet.Addr) bool {
+	i := mix64(uint64(a)) >> s.shift
+	m := s.shards[i]
+	if m == nil {
+		m = make(map[ipnet.Addr]struct{})
+		s.shards[i] = m
+	}
+	if _, dup := m[a]; dup {
+		return false
+	}
+	m[a] = struct{}{}
+	return true
+}
+
+// Len returns the number of distinct addresses seen.
+func (s *shardedSet) Len() int {
+	n := 0
+	for _, m := range s.shards {
+		n += len(m)
+	}
+	return n
+}
+
+// mix64 is the splitmix64 finalizer — the same full-avalanche mix the
+// faults package uses for schedule-free injection decisions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// reservoirSlot returns the Algorithm R replacement slot for the i-th
+// (0-based) sample of an AS: a uniform draw over [0, i] derived purely
+// from (asn, i), so reservoir contents are a function of arrival order
+// alone — no RNG state, nothing for batching or workers to perturb.
+func reservoirSlot(asn astopo.ASN, i int) int {
+	h := mix64(uint64(uint32(asn))<<32 | uint64(uint32(i)))
+	return int(h % uint64(i+1))
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/ipnet"
+)
+
+// TestShardedSetMatchesMap: the sharded set is semantically a plain set
+// under a deterministic adversarial stream — dense duplicates, clustered
+// prefixes (the shape real crawls have), and a shard count that forces
+// collisions.
+func TestShardedSetMatchesMap(t *testing.T) {
+	for _, shards := range []int{1, 3, 256} {
+		s := newShardedSet(shards)
+		ref := make(map[ipnet.Addr]struct{})
+		x := uint64(42)
+		for i := 0; i < 50000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			// Clustered low entropy: many /24-style repeats.
+			a := ipnet.Addr(0x0A000000 | uint32(x>>52)<<8 | uint32(x>>32)&0xFF)
+			_, dup := ref[a]
+			ref[a] = struct{}{}
+			if got := s.Add(a); got == dup {
+				t.Fatalf("shards=%d: Add(%v) first-sight=%v, reference says dup=%v", shards, a, got, dup)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("shards=%d: Len %d != reference %d", shards, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestReservoirSlotUniformRange: reservoirSlot must always land in
+// [0, i] — Algorithm R's correctness precondition — and be a pure
+// function of (asn, i).
+func TestReservoirSlotUniformRange(t *testing.T) {
+	for _, asn := range []astopo.ASN{1, 7143, 65535} {
+		for i := 0; i < 10000; i++ {
+			j := reservoirSlot(asn, i)
+			if j < 0 || j > i {
+				t.Fatalf("reservoirSlot(%d, %d) = %d outside [0, %d]", asn, i, j, i)
+			}
+			if j != reservoirSlot(asn, i) {
+				t.Fatalf("reservoirSlot(%d, %d) not pure", asn, i)
+			}
+		}
+	}
+}
+
+// FuzzShardedDedup: random peer sequences — duplicates straddling any
+// batching the fuzzer invents — must agree exactly with a reference map,
+// decision by decision, for every shard count. The 16-bit address space
+// makes duplicates dense; the shard count byte explores degenerate
+// (0 → default, 1, tiny, large) configurations.
+func FuzzShardedDedup(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 0, 2, 0, 1}, uint8(0))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 1, 2}, uint8(1))
+	f.Add([]byte{255, 0, 0, 255, 255, 0, 13, 37}, uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, shardsRaw uint8) {
+		s := newShardedSet(int(shardsRaw))
+		ref := make(map[ipnet.Addr]struct{})
+		for i := 0; i+1 < len(data); i += 2 {
+			a := ipnet.Addr(binary.BigEndian.Uint16(data[i : i+2]))
+			_, dup := ref[a]
+			ref[a] = struct{}{}
+			if got := s.Add(a); got == dup {
+				t.Fatalf("Add(%v) first-sight=%v, reference says dup=%v", a, got, dup)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len %d != reference %d", s.Len(), len(ref))
+		}
+	})
+}

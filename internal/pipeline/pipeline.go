@@ -115,6 +115,21 @@ type Config struct {
 	// whose rates are all zero — yields a bit-identical dataset to no
 	// plan at all.
 	Faults *faults.Plan
+
+	// BatchSize is the number of peers per streaming ingestion batch
+	// (see BuildStream); <= 0 selects parallel.DefaultBatchSize. The
+	// batch size bounds transient memory only — datasets are
+	// bit-identical for every setting, exactly as for Workers.
+	BatchSize int
+	// MaxSamplesPerAS, when positive, caps per-AS sample retention
+	// during streaming ingestion: each AS keeps a deterministic
+	// reservoir of at most this many samples, the true user count is
+	// carried separately (ASRecord.Users), and the AS's P90 geo error
+	// comes from a streaming quantile sketch (exact below the cap,
+	// P²-approximate above it — see stats.QuantileSketch). 0 keeps
+	// every sample: exact statistics, bit-identical to the batch path,
+	// at O(kept users) memory.
+	MaxSamplesPerAS int
 }
 
 // DefaultConfig returns thresholds for the default synthetic scale
@@ -144,6 +159,12 @@ func (c Config) validate() error {
 			return fmt.Errorf("pipeline: %s %v outside [0,1]", b.name, b.v)
 		}
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("pipeline: BatchSize must be >= 0 (0 = default)")
+	}
+	if c.MaxSamplesPerAS < 0 {
+		return fmt.Errorf("pipeline: MaxSamplesPerAS must be >= 0 (0 = keep all)")
+	}
 	return nil
 }
 
@@ -167,6 +188,11 @@ func (e *BudgetError) Error() string {
 type ASRecord struct {
 	ASN     astopo.ASN
 	Samples []core.Sample
+	// Users is the number of distinct usable users observed in this AS.
+	// It equals len(Samples) unless Config.MaxSamplesPerAS capped the
+	// retained samples, in which case Samples is a uniform reservoir
+	// and Users carries the true count.
+	Users int
 	// PeersByApp counts usable peer observations per application
 	// (Table 1's "#Peers by source"); a user seen by two crawlers counts
 	// once in Samples but in both app columns.
@@ -217,6 +243,29 @@ type Dataset struct {
 	Degraded bool
 	// DegradedReason says why (empty when Degraded is false).
 	DegradedReason string
+	// Stream is the streaming engine's deterministic memory accounting
+	// (nil for the frozen batch reference path). Its counts are pure
+	// functions of the input stream and BatchSize — identical for every
+	// worker count — which is what lets tests pin memory behaviour
+	// without GC flakiness.
+	Stream *StreamStats
+}
+
+// StreamStats reports how a streaming build consumed its input.
+type StreamStats struct {
+	// BatchSize is the resolved ingestion batch size.
+	BatchSize int
+	// Batches is the number of batches folded.
+	Batches int
+	// MaxBatch is the largest batch actually delivered by the source.
+	MaxBatch int
+	// DedupEntries is the number of distinct kept-peer IPs the sharded
+	// dedup set tracked (the O(kept users) term of peak memory).
+	DedupEntries int
+	// PeakLiveSamples is the high-watermark of samples held across all
+	// per-AS accumulators — equal to kept unique users when
+	// MaxSamplesPerAS is 0, and bounded by ASes·cap when it is set.
+	PeakLiveSamples int
 }
 
 // AS returns the record for an AS, or nil.
@@ -286,6 +335,13 @@ func tally(results []located) passCounts {
 // on all CPUs; aggregation preserves crawl order, keeping the result
 // byte-identical to a sequential run.
 //
+// Since the streaming refactor, Build is a thin wrapper over
+// BuildStream on an in-memory stream of the crawl's peers — one
+// ingestion engine serves both shapes, and the differential harness in
+// stream_diff_test.go proves it bit-identical to the frozen batch
+// reference (buildBatch) for every batch size, worker count, and fault
+// plan.
+//
 // origins is any bgp.Resolver; Run passes a *bgp.OriginTable, whose
 // lookups are served from the compiled flat LPM form. The interface keeps
 // the trie reference path substitutable for differential testing. If
@@ -297,6 +353,22 @@ func tally(results []located) passCounts {
 // context.Background()). On any failure — cancellation, lookup error,
 // blown budget, worker panic — the returned dataset is nil.
 func Build(ctx context.Context, crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var peers []p2p.Peer
+	if crawl != nil {
+		peers = crawl.Peers
+	}
+	return BuildStream(ctx, p2p.SlicePeers(peers), dbA, dbB, origins, cfg)
+}
+
+// buildBatch is the pre-streaming Build implementation, kept verbatim
+// as the frozen reference for the differential test harness: it
+// materializes the full []located verdict slice (O(crawled peers)
+// memory) and aggregates afterwards. Production callers go through
+// Build/BuildStream; only tests should call this.
+func buildBatch(ctx context.Context, crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bgp.Resolver, cfg Config) (*Dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -467,7 +539,7 @@ func Build(ctx context.Context, crawl *p2p.Crawl, dbA, dbB *geodb.DB, origins bg
 	ds.Drops.DupIP = dup
 
 	condSpan := span.Child("condition")
-	out, err := condition(ctx, ds, cfg, stCond)
+	out, err := condition(ctx, ds, cfg, stCond, nil)
 	condSpan.End()
 	return out, err
 }
@@ -584,7 +656,12 @@ func locateOne(peer p2p.Peer, primary, secondary *geodb.DB, origins bgp.Resolver
 // worker pool into index-addressed verdicts; the filters and counters are
 // then applied serially in ascending-ASN order, making drop counts,
 // Order, and TotalPeers identical for every worker count.
-func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage) (*Dataset, error) {
+//
+// accs, when non-nil, carries the streaming per-AS accumulators of a
+// MaxSamplesPerAS build: the true user count (Samples is then only a
+// reservoir) and the quantile sketch the P90 comes from. nil means
+// exact mode — every sample retained, statistics computed from them.
+func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage, accs map[astopo.ASN]*asAcc) (*Dataset, error) {
 	asns := make([]astopo.ASN, 0, len(ds.ASes))
 	for asn := range ds.ASes {
 		asns = append(asns, asn)
@@ -594,6 +671,7 @@ func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage) 
 	type verdict struct {
 		small   bool
 		highErr bool
+		users   int
 		p90     float64
 		class   core.Classification
 		region  gazetteer.Region
@@ -601,24 +679,38 @@ func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage) 
 	verdicts := make([]verdict, len(asns))
 	err := parallel.ForEach(ctx, cfg.Workers, asns, func(i int, asn astopo.ASN) error {
 		rec := ds.ASes[asn]
-		if len(rec.Samples) < cfg.MinPeers {
+		users := len(rec.Samples)
+		var acc *asAcc
+		if accs != nil {
+			if acc = accs[asn]; acc != nil {
+				users = acc.users
+			}
+		}
+		verdicts[i].users = users
+		if users < cfg.MinPeers {
 			verdicts[i].small = true
 			return nil
 		}
-		errs := make([]float64, len(rec.Samples))
-		for j, s := range rec.Samples {
-			errs[j] = s.GeoErrKm
+		var p90 float64
+		if acc != nil {
+			// Capped mode: the sketch saw every sample (exact below its
+			// threshold, P² above); Samples is only a reservoir.
+			p90 = acc.sketch.Quantile()
+		} else {
+			errs := make([]float64, len(rec.Samples))
+			for j, s := range rec.Samples {
+				errs[j] = s.GeoErrKm
+			}
+			p90 = stats.Percentile(errs, 90)
 		}
-		p90 := stats.Percentile(errs, 90)
 		if p90 > cfg.MaxP90GeoErrKm {
-			verdicts[i] = verdict{highErr: true, p90: p90}
+			verdicts[i].highErr = true
+			verdicts[i].p90 = p90
 			return nil
 		}
-		verdicts[i] = verdict{
-			p90:    p90,
-			class:  core.ClassifyLevel(rec.Samples),
-			region: core.DominantRegion(rec.Samples),
-		}
+		verdicts[i].p90 = p90
+		verdicts[i].class = core.ClassifyLevel(rec.Samples)
+		verdicts[i].region = core.DominantRegion(rec.Samples)
 		return nil
 	})
 	if err != nil {
@@ -633,27 +725,31 @@ func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage) 
 	smallASC := cfg.Obs.Counter("eyeball_pipeline_as_dropped_total", "reason", "small_as")
 	highErrASC := cfg.Obs.Counter("eyeball_pipeline_as_dropped_total", "reason", "high_err_as")
 
+	// Peer accounting uses the true user counts (== len(Samples) in
+	// exact mode), so funnel conservation holds even when Samples is a
+	// capped reservoir.
 	var condIn, smallPeers, highErrPeers int
 	for i, asn := range asns {
 		v := verdicts[i]
 		rec := ds.ASes[asn]
-		condIn += len(rec.Samples)
+		condIn += v.users
 		switch {
 		case v.small:
 			delete(ds.ASes, asn)
 			ds.Drops.SmallAS++
-			smallPeers += len(rec.Samples)
+			smallPeers += v.users
 		case v.highErr:
 			p90Hist.Observe(v.p90)
 			delete(ds.ASes, asn)
 			ds.Drops.HighErrAS++
-			highErrPeers += len(rec.Samples)
+			highErrPeers += v.users
 		default:
 			p90Hist.Observe(v.p90)
+			rec.Users = v.users
 			rec.P90GeoErrKm = v.p90
 			rec.Class = v.class
 			rec.Region = v.region
-			ds.TotalPeers += len(rec.Samples)
+			ds.TotalPeers += v.users
 			ds.Order = append(ds.Order, asn)
 		}
 	}
@@ -697,11 +793,25 @@ func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, 
 	if err != nil {
 		return nil, nil, err
 	}
+	origins, err := originTable(ctx, w, cfg, span)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := Build(ctx, crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, crawl, nil
+}
+
+// originTable computes policy routing and builds the origin table from
+// the world's three tier-1 vantage RIBs — the shared back half of Run
+// and RunStream. Per-vantage RIB construction is independent; fan it
+// out, keeping the vantage order (and thus the origin table) fixed.
+func originTable(ctx context.Context, w *astopo.World, cfg Config, span *obs.Span) (*bgp.OriginTable, error) {
 	routingSpan := span.Child("bgp.routing")
 	routing := bgp.ComputeRouting(w)
 	routingSpan.End()
-	// Per-vantage RIB construction is independent; fan it out, keeping
-	// the vantage order (and thus the origin table) fixed.
 	var vantages []astopo.ASN
 	for _, a := range w.ASes() {
 		if a.Kind != astopo.KindTier1 {
@@ -713,7 +823,7 @@ func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, 
 		}
 	}
 	if len(vantages) == 0 {
-		return nil, nil, fmt.Errorf("pipeline: world has no tier-1 vantage points")
+		return nil, fmt.Errorf("pipeline: world has no tier-1 vantage points")
 	}
 	ribs := make([]*bgp.RIB, len(vantages))
 	ribSpan := span.Child("bgp.ribs")
@@ -725,13 +835,8 @@ func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, 
 		ribs[i] = rib
 		return nil
 	}); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ribSpan.End()
-	origins := bgp.NewOriginTableObs(cfg.Obs, ribs...)
-	ds, err := Build(ctx, crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ds, crawl, nil
+	return bgp.NewOriginTableObs(cfg.Obs, ribs...), nil
 }

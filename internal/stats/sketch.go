@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchExact is the exact-mode threshold QuantileSketch uses
+// when the caller passes exactMax <= 0: streams up to this long answer
+// from a sorted buffer, bit-identical to Percentile; only longer
+// streams switch to the constant-space P² estimator.
+const DefaultSketchExact = 256
+
+// QuantileSketch estimates one quantile of a stream in constant space.
+//
+// Small streams are the common case in the pipeline (most ASes hold few
+// peers), and for those an approximation would be both needless and
+// harmful to the repo's bit-identity discipline — so the sketch buffers
+// values exactly until the stream exceeds exactMax, answering via the
+// same interpolation as stats.Percentile. Past the threshold it
+// promotes to the P² algorithm (Jain & Chlamtac, CACM 1985): five
+// markers whose heights track the quantile with piecewise-parabolic
+// adjustment, O(1) per observation and O(1) memory.
+//
+// The sketch is a pure function of the arrival order of its inputs —
+// no randomness, no timing — so feeding the same stream through any
+// batching produces the same estimate.
+type QuantileSketch struct {
+	q        float64   // target quantile in (0, 1)
+	exactMax int       // exact-mode capacity
+	buf      []float64 // exact buffer; nil once promoted
+	n        int       // observations so far
+
+	// P² marker state (valid once promoted): heights are the marker
+	// values, pos the actual 1-based marker positions, want the desired
+	// positions, inc the desired-position increments per observation.
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	inc     [5]float64
+}
+
+// NewQuantileSketch builds a sketch for quantile q in (0, 1).
+// exactMax <= 0 selects DefaultSketchExact; values below 5 are raised
+// to 5 (P² needs five markers to seed).
+func NewQuantileSketch(q float64, exactMax int) *QuantileSketch {
+	if math.IsNaN(q) || q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("stats: sketch quantile %v outside (0,1)", q))
+	}
+	if exactMax <= 0 {
+		exactMax = DefaultSketchExact
+	}
+	if exactMax < 5 {
+		exactMax = 5
+	}
+	return &QuantileSketch{q: q, exactMax: exactMax}
+}
+
+// N returns the number of observations added.
+func (s *QuantileSketch) N() int { return s.n }
+
+// Exact reports whether Quantile still answers from the exact buffer
+// (the stream has not outgrown the threshold).
+func (s *QuantileSketch) Exact() bool { return s.buf != nil || s.n == 0 }
+
+// Add feeds one observation. It panics on NaN, consistent with the
+// package's ingestion contract (see checkNaN).
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		panic("stats: QuantileSketch.Add: NaN observation")
+	}
+	if s.n < s.exactMax {
+		s.buf = append(s.buf, x)
+		s.n++
+		return
+	}
+	if s.buf != nil {
+		s.promote()
+	}
+	s.update(x)
+	s.n++
+}
+
+// promote seeds the P² markers from the exact buffer: the first five
+// observations (sorted) initialize the markers, and the rest replay in
+// arrival order — the same state a buffer-free P² run over the stream
+// so far would have reached.
+func (s *QuantileSketch) promote() {
+	buf := s.buf
+	s.buf = nil
+	seed := [5]float64{buf[0], buf[1], buf[2], buf[3], buf[4]}
+	sort.Float64s(seed[:])
+	s.heights = seed
+	s.pos = [5]float64{1, 2, 3, 4, 5}
+	q := s.q
+	s.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	s.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	for _, x := range buf[5:] {
+		s.update(x)
+	}
+}
+
+// update is one P² step over an already-promoted sketch.
+func (s *QuantileSketch) update(x float64) {
+	// Locate the cell k with heights[k] <= x < heights[k+1], extending
+	// the extreme markers when x falls outside them.
+	var k int
+	switch {
+	case x < s.heights[0]:
+		s.heights[0] = x
+		k = 0
+	case x >= s.heights[4]:
+		s.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.inc[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			step := 1.0
+			if d < 0 {
+				step = -1.0
+			}
+			h := s.parabolic(i, step)
+			if s.heights[i-1] < h && h < s.heights[i+1] {
+				s.heights[i] = h
+			} else {
+				s.heights[i] = s.linear(i, step)
+			}
+			s.pos[i] += step
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by step (±1).
+func (s *QuantileSketch) parabolic(i int, step float64) float64 {
+	return s.heights[i] + step/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+step)*(s.heights[i+1]-s.heights[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-step)*(s.heights[i]-s.heights[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola would
+// break marker monotonicity.
+func (s *QuantileSketch) linear(i int, step float64) float64 {
+	j := i + int(step)
+	return s.heights[i] + step*(s.heights[j]-s.heights[i])/(s.pos[j]-s.pos[i])
+}
+
+// Quantile returns the current estimate: while the stream fits the
+// exact buffer this is bit-identical to Percentile over the same
+// values; afterwards it is the P² middle-marker estimate. NaN for an
+// empty sketch.
+func (s *QuantileSketch) Quantile() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if s.buf != nil {
+		sorted := make([]float64, len(s.buf))
+		copy(sorted, s.buf)
+		sort.Float64s(sorted)
+		return percentileSorted(sorted, s.q*100)
+	}
+	return s.heights[2]
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic value stream for sketch tests (no
+// dependence on the repo's rng package — these are unit tests of the
+// estimator's arithmetic).
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*l)>>11) / (1 << 53)
+}
+
+// TestSketchExactModeBitIdenticalToPercentile: while the stream fits the
+// exact buffer, Quantile must answer bit-identically to Percentile over
+// the same values — the property that keeps capped streaming builds
+// byte-equal to the batch path for small ASes.
+func TestSketchExactModeBitIdenticalToPercentile(t *testing.T) {
+	r := lcg(7)
+	for _, n := range []int{1, 2, 5, 17, 100, 256} {
+		s := NewQuantileSketch(0.90, 256)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 200 * r.next()
+			s.Add(vals[i])
+		}
+		if !s.Exact() {
+			t.Fatalf("n=%d: sketch left exact mode below its threshold", n)
+		}
+		want := Percentile(vals, 90)
+		got := s.Quantile()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: sketch %v != Percentile %v (bitwise)", n, got, want)
+		}
+	}
+}
+
+// TestSketchPromotedAccuracy: past the threshold the P² estimate must
+// track the exact percentile closely on smooth streams. Uniform and
+// exponential shapes, 50k observations, 2% of the exact value (plus a
+// small absolute floor for the tails).
+func TestSketchPromotedAccuracy(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(u float64) float64
+	}{
+		{"uniform", func(u float64) float64 { return 100 * u }},
+		{"exponential", func(u float64) float64 { return -25 * math.Log(1-u) }},
+	}
+	for _, sh := range shapes {
+		for _, q := range []float64{0.5, 0.9} {
+			r := lcg(11)
+			s := NewQuantileSketch(q, 256)
+			vals := make([]float64, 50000)
+			for i := range vals {
+				vals[i] = sh.gen(r.next())
+				s.Add(vals[i])
+			}
+			if s.Exact() {
+				t.Fatalf("%s q=%v: sketch never promoted", sh.name, q)
+			}
+			exact := Percentile(vals, q*100)
+			got := s.Quantile()
+			if d := math.Abs(got - exact); d > 0.02*exact+0.5 {
+				t.Errorf("%s q=%v: sketch %v vs exact %v (|d|=%v)", sh.name, q, got, exact, d)
+			}
+		}
+	}
+}
+
+// TestSketchDeterministic: the sketch is a pure function of arrival
+// order — two instances fed the same stream agree bit-for-bit at every
+// prefix, before and after promotion.
+func TestSketchDeterministic(t *testing.T) {
+	r := lcg(3)
+	a := NewQuantileSketch(0.90, 64)
+	b := NewQuantileSketch(0.90, 64)
+	for i := 0; i < 5000; i++ {
+		v := 1000 * r.next()
+		a.Add(v)
+		b.Add(v)
+		if i%97 == 0 {
+			if math.Float64bits(a.Quantile()) != math.Float64bits(b.Quantile()) {
+				t.Fatalf("n=%d: replicas diverged: %v vs %v", i+1, a.Quantile(), b.Quantile())
+			}
+		}
+	}
+	if a.N() != 5000 || b.N() != 5000 {
+		t.Fatalf("N() = %d/%d, want 5000", a.N(), b.N())
+	}
+}
+
+// TestSketchExactTransition pins the promotion boundary: exact through
+// exactMax observations, approximate from the next one on.
+func TestSketchExactTransition(t *testing.T) {
+	s := NewQuantileSketch(0.90, 10)
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+		if !s.Exact() {
+			t.Fatalf("left exact mode at n=%d (threshold 10)", i+1)
+		}
+	}
+	s.Add(10)
+	if s.Exact() {
+		t.Fatal("still exact past the threshold")
+	}
+	if s.N() != 11 {
+		t.Fatalf("N() = %d, want 11", s.N())
+	}
+	// The estimate stays ordered within the observed range.
+	if q := s.Quantile(); q < 0 || q > 10 {
+		t.Fatalf("promoted estimate %v outside observed range [0,10]", q)
+	}
+}
+
+// TestSketchDefaults: exactMax <= 0 selects DefaultSketchExact, and the
+// floor of 5 applies below the P² seed size.
+func TestSketchDefaults(t *testing.T) {
+	s := NewQuantileSketch(0.5, 0)
+	for i := 0; i < DefaultSketchExact; i++ {
+		s.Add(float64(i))
+	}
+	if !s.Exact() {
+		t.Fatalf("default threshold smaller than DefaultSketchExact=%d", DefaultSketchExact)
+	}
+	s.Add(1)
+	if s.Exact() {
+		t.Fatal("default threshold larger than DefaultSketchExact")
+	}
+
+	tiny := NewQuantileSketch(0.5, 1)
+	for i := 0; i < 5; i++ {
+		tiny.Add(float64(i))
+		if !tiny.Exact() {
+			t.Fatalf("exactMax floor of 5 not applied (left exact at n=%d)", i+1)
+		}
+	}
+	tiny.Add(5)
+	if tiny.Exact() {
+		t.Fatal("floored sketch never promoted")
+	}
+}
+
+// TestSketchEmptyAndPanics: empty sketch answers NaN; NaN observations
+// and out-of-range quantiles panic per the ingestion contract.
+func TestSketchEmptyAndPanics(t *testing.T) {
+	if q := NewQuantileSketch(0.9, 0).Quantile(); !math.IsNaN(q) {
+		t.Fatalf("empty sketch answered %v, want NaN", q)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Add(NaN)", func() { NewQuantileSketch(0.9, 0).Add(math.NaN()) })
+	mustPanic("q=0", func() { NewQuantileSketch(0, 0) })
+	mustPanic("q=1", func() { NewQuantileSketch(1, 0) })
+	mustPanic("q=NaN", func() { NewQuantileSketch(math.NaN(), 0) })
+}
