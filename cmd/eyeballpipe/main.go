@@ -6,10 +6,17 @@
 // Usage:
 //
 //	eyeballpipe [-seed N] [-small] [-minpeers N] [-dump dataset.csv]
+//	            [-snapshot out.snap] [-snapshot-label s]
+//	            [-footprint ASN] [-footprint-out fp.json] [-footprint-bw KM]
 //	            [-faults spec] [-fault-seed N] [-max-geo-miss F] [-max-origin-miss F]
 //	            [-single-db] [-single-db-fallback]
 //	            [-stream] [-batch N] [-as-sample-cap N]
 //	            [-quiet] [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// -snapshot writes the built dataset plus the compiled LPM origin table
+// as a versioned binary serving artifact for cmd/eyeballserve; -footprint
+// renders one AS's PoP footprint with the same code path the server's
+// /v1/footprint endpoint uses, so the two outputs are byte-identical.
 //
 // -stream runs the bounded-memory ingestion path: the crawl is generated
 // unit by unit and fed straight into the pipeline, never materialized.
@@ -34,6 +41,8 @@ import (
 	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
+	"eyeballas/internal/serve"
+	"eyeballas/internal/snapshot"
 )
 
 func main() {
@@ -63,6 +72,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	stream := fs.Bool("stream", false, "stream the crawl straight into the pipeline without materializing it (bounded memory; output is bit-identical to the default path)")
 	batch := fs.Int("batch", 0, "peers per streaming ingestion batch (0 = default; bounds transient memory only, output is identical for every setting)")
 	sampleCap := fs.Int("as-sample-cap", 0, "cap per-AS retained samples via a deterministic reservoir + quantile sketch (0 = keep all, exact statistics)")
+	snapPath := fs.String("snapshot", "", "write the built dataset + compiled LPM as a versioned binary serving artifact (eyeballas-snap/1) to this file")
+	snapLabel := fs.String("snapshot-label", "eyeballpipe", "provenance label recorded in the snapshot artifact")
+	footprintASN := fs.Int("footprint", 0, "render the PoP-level footprint of this AS as canonical JSON (same bytes eyeballserve's /v1/footprint returns)")
+	footprintOut := fs.String("footprint-out", "", "write the -footprint JSON to this file instead of stdout")
+	footprintBW := fs.Float64("footprint-bw", 40, "kernel bandwidth in km for -footprint")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -117,10 +131,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.BatchSize = *batch
 	cfg.MaxSamplesPerAS = *sampleCap
 	var ds *eyeball.Dataset
+	var origins *eyeball.OriginTable
 	if *stream {
-		ds, err = eyeball.BuildTargetDatasetStreamCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+		ds, origins, err = eyeball.BuildTargetDatasetStreamExportCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	} else {
-		ds, err = eyeball.BuildTargetDatasetCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+		ds, origins, err = eyeball.BuildTargetDatasetExportCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	}
 	if err != nil {
 		return err
@@ -157,6 +172,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote per-AS dataset to %s\n", *dump)
+	}
+
+	if *snapPath != "" {
+		snap := &eyeball.DatasetSnapshot{
+			Meta:    eyeball.SnapshotMeta{Seed: *seed, Label: *snapLabel},
+			Dataset: ds,
+			Origins: origins,
+		}
+		data := snapshot.Encode(snap)
+		// The snap-corrupt fault point mangles the rendered bytes before
+		// they reach disk — the harness that proves readers reject
+		// checksum-damaged artifacts end to end.
+		if flipped := snapshot.Mangle(data, plan.Injector(faults.SnapCorrupt)); flipped > 0 {
+			fmt.Fprintf(stderr, "faults: snap-corrupt flipped %d bytes of %s\n", flipped, *snapPath)
+		}
+		if err := os.WriteFile(*snapPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote snapshot artifact to %s (%d bytes, %d ASes)\n",
+			*snapPath, len(data), len(ds.Order))
+	}
+
+	if *footprintASN != 0 {
+		rec := ds.AS(eyeball.ASN(*footprintASN))
+		if rec == nil {
+			return fmt.Errorf("eyeballpipe: -footprint AS%d not in dataset", *footprintASN)
+		}
+		body, err := serve.RenderFootprint(ctx, eyeball.Gazetteer(), rec, *footprintBW, cfg.Workers, reg)
+		if err != nil {
+			return err
+		}
+		if *footprintOut != "" {
+			if err := os.WriteFile(*footprintOut, body, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote footprint of AS%d to %s\n", *footprintASN, *footprintOut)
+		} else {
+			stdout.Write(body)
+		}
 	}
 	return obsFlags.Finish(stdout, stderr)
 }

@@ -1,0 +1,171 @@
+// Command eyeballserve serves a snapshot artifact written by
+// eyeballpipe -snapshot: classification records, compiled-LPM origin
+// lookups, and KDE footprints over HTTP, with hot reload.
+//
+// Usage:
+//
+//	eyeballserve -snap dataset.snap [-addr :8080] [-timeout 5s]
+//	             [-max-inflight N] [-cache N] [-bw KM] [-workers N]
+//	             [-print-footprint ASN]
+//	             [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + artifact summary
+//	GET  /v1/as/{asn}          classification record for one AS
+//	GET  /v1/lookup?ip=a.b.c.d origin AS of an address
+//	GET  /v1/footprint/{asn}   PoP-level footprint (?bw= overrides km)
+//	POST /-/reload             hot-swap to the re-read artifact file
+//
+// SIGHUP reloads the snapshot file in place, exactly like POST
+// /-/reload: the new artifact is parsed and fully validated before the
+// atomic swap, in-flight requests finish on the old artifact, and a
+// corrupt replacement file leaves the old artifact serving. SIGINT and
+// SIGTERM shut the server down gracefully.
+//
+// -print-footprint renders one AS's footprint JSON to stdout and exits
+// without serving — the offline mode CI uses to prove served bytes
+// match the pipeline's.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eyeballas/internal/obs"
+	"eyeballas/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eyeballserve: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("eyeballserve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	snapPath := fs.String("snap", "", "snapshot artifact to serve (required; written by eyeballpipe -snapshot)")
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline (footprint renders observe it at KDE block boundaries)")
+	maxInflight := fs.Int("max-inflight", 64, "bound on concurrently served data requests; excess requests get 503 + Retry-After (-1 disables)")
+	cacheSize := fs.Int("cache", 128, "rendered-footprint LRU capacity in entries (-1 disables)")
+	bw := fs.Float64("bw", 40, "default footprint kernel bandwidth in km (per-request ?bw= overrides)")
+	workers := fs.Int("workers", 1, "KDE workers per footprint render")
+	printFootprint := fs.Int("print-footprint", 0, "render this AS's footprint JSON to stdout and exit (no server)")
+	obsFlags := obs.BindCLIFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapPath == "" {
+		return errors.New("-snap is required")
+	}
+	reg := obsFlags.Registry()
+	if err := obsFlags.Start(stderr); err != nil {
+		return err
+	}
+	defer obsFlags.Finish(stdout, stderr)
+
+	srv := serve.New(serve.Options{
+		Timeout:     *timeout,
+		MaxInflight: *maxInflight,
+		CacheSize:   *cacheSize,
+		BandwidthKm: *bw,
+		Workers:     *workers,
+		Obs:         reg,
+	})
+	art, err := srv.LoadFile(*snapPath)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", *snapPath, err)
+	}
+	ds := art.Snap.Dataset
+	fmt.Fprintf(stderr, "loaded %s: %d ASes, %d peers (seed %d, label %q)\n",
+		*snapPath, len(ds.Order), ds.TotalPeers, art.Snap.Meta.Seed, art.Snap.Meta.Label)
+
+	if *printFootprint != 0 {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("/v1/footprint/%d?bw=%g", *printFootprint, *bw), nil)
+		if err != nil {
+			return err
+		}
+		rec := newBufferResponse()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.code != http.StatusOK {
+			return fmt.Errorf("footprint AS%d: HTTP %d: %s", *printFootprint, rec.code, rec.body.String())
+		}
+		_, err = io.Copy(stdout, &rec.body)
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// SIGHUP → hot reload, for as long as the server runs.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if a, err := srv.Reload(); err != nil {
+					fmt.Fprintf(stderr, "reload failed, keeping generation %d: %v\n", srv.Artifact().Gen, err)
+				} else {
+					fmt.Fprintf(stderr, "reloaded %s: generation %d, %d ASes\n",
+						a.Path, a.Gen, len(a.Snap.Dataset.Order))
+				}
+			}
+		}
+	}()
+
+	fmt.Fprintf(stderr, "listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// bufferResponse captures a handler's response for the offline
+// -print-footprint mode (no httptest outside _test files).
+type bufferResponse struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newBufferResponse() *bufferResponse {
+	return &bufferResponse{code: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *bufferResponse) Header() http.Header         { return r.header }
+func (r *bufferResponse) WriteHeader(code int)        { r.code = code }
+func (r *bufferResponse) Write(p []byte) (int, error) { return r.body.Write(p) }

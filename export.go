@@ -15,15 +15,28 @@ import (
 
 // WriteDatasetCSV writes one row per eligible eyeball AS:
 //
-//	asn,name,kind,level,place,region,peers,kad,gnutella,bittorrent,p90_geoerr_km
+//	asn,name,kind,level,place,region,users,samples,kad,gnutella,bittorrent,p90_geoerr_km
 //
 // Ground-truth fields (name, kind) come from the world; everything else
-// is measurement output.
+// is measurement output. The three peer-count-ish columns measure
+// different things and are deliberately separate:
+//
+//   - users is the number of distinct usable users observed in the AS
+//     (ASRecord.Users) — the funnel-conserved quantity that sums to the
+//     dataset's TotalPeers.
+//   - samples is the number of retained samples (len(Samples)); it
+//     equals users unless MaxSamplesPerAS capped the reservoir.
+//   - kad/gnutella/bittorrent count per-crawler observations; a user
+//     seen by two crawlers appears in both columns, so their sum can
+//     exceed users.
+//
+// (Earlier revisions wrote a single "peers" column holding the sample
+// count, which silently disagreed with both Users and the app columns.)
 func WriteDatasetCSV(w io.Writer, world *World, ds *Dataset) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"asn", "name", "kind", "level", "place", "region",
-		"peers", "kad", "gnutella", "bittorrent", "p90_geoerr_km",
+		"users", "samples", "kad", "gnutella", "bittorrent", "p90_geoerr_km",
 	}); err != nil {
 		return err
 	}
@@ -39,6 +52,7 @@ func WriteDatasetCSV(w io.Writer, world *World, ds *Dataset) error {
 			rec.Class.Level.String(),
 			rec.Class.Place,
 			string(rec.Region),
+			strconv.Itoa(rec.Users),
 			strconv.Itoa(len(rec.Samples)),
 			strconv.Itoa(rec.PeersByApp[p2p.Kad]),
 			strconv.Itoa(rec.PeersByApp[p2p.Gnutella]),

@@ -21,16 +21,27 @@ func TestWriteDatasetCSV(t *testing.T) {
 	if len(rows) != len(ds.Records())+1 {
 		t.Fatalf("rows = %d, want %d", len(rows), len(ds.Records())+1)
 	}
-	if rows[0][0] != "asn" || len(rows[0]) != 11 {
+	if rows[0][0] != "asn" || len(rows[0]) != 12 {
 		t.Errorf("header = %v", rows[0])
+	}
+	if rows[0][6] != "users" || rows[0][7] != "samples" {
+		t.Errorf("count columns = %v, want users,samples", rows[0][6:8])
 	}
 	// First data row matches the first record.
 	rec := ds.Records()[0]
 	if rows[1][0] != itoa(int(rec.ASN)) {
 		t.Errorf("first row asn %s, want %d", rows[1][0], rec.ASN)
 	}
-	if rows[1][6] != itoa(len(rec.Samples)) {
-		t.Errorf("peers column %s, want %d", rows[1][6], len(rec.Samples))
+	if rows[1][6] != itoa(rec.Users) {
+		t.Errorf("users column %s, want %d", rows[1][6], rec.Users)
+	}
+	if rows[1][7] != itoa(len(rec.Samples)) {
+		t.Errorf("samples column %s, want %d", rows[1][7], len(rec.Samples))
+	}
+	// With no sampling cap in apiSetup, users == samples; the app
+	// columns count per-crawler observations and may sum past users.
+	if rows[1][6] != rows[1][7] {
+		t.Errorf("uncapped build: users %s != samples %s", rows[1][6], rows[1][7])
 	}
 }
 

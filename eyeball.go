@@ -38,6 +38,7 @@ import (
 	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/pipeline"
+	"eyeballas/internal/snapshot"
 )
 
 // Core domain types, re-exported from the implementation packages so the
@@ -275,6 +276,50 @@ func LoadWorld(in io.Reader) (*World, error) { return astopo.ReadSnapshot(in) }
 // and longest-prefix-match IP→origin lookup — the synthetic RouteViews
 // table dump.
 type RIB = bgp.RIB
+
+// OriginTable is the merged multi-vantage IP→origin-AS table (with its
+// compiled flat LPM form) the pipeline resolves peers against.
+type OriginTable = bgp.OriginTable
+
+// DatasetSnapshot is a versioned binary serving artifact: a conditioned
+// dataset plus the compiled origin table it was built with, in the
+// deterministic "eyeballas-snap/1" format. Write one with
+// WriteDatasetSnapshot and serve it with cmd/eyeballserve.
+type DatasetSnapshot = snapshot.Snapshot
+
+// SnapshotMeta is a snapshot artifact's provenance record (seed +
+// label; deliberately no timestamps, so artifacts are byte-stable).
+type SnapshotMeta = snapshot.Meta
+
+// BuildTargetDatasetExportCtx is BuildTargetDatasetCtx plus the origin
+// table the build resolved peers against — the inputs WriteDatasetSnapshot
+// needs to produce a serving artifact carrying the exact LPM the dataset
+// was conditioned with.
+func BuildTargetDatasetExportCtx(ctx context.Context, w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, *OriginTable, error) {
+	ds, _, origins, err := pipeline.RunExport(ctx, w, crawlCfg, cfg, seed)
+	return ds, origins, err
+}
+
+// BuildTargetDatasetStreamExportCtx is the streaming counterpart of
+// BuildTargetDatasetExportCtx (bounded memory, bit-identical dataset).
+func BuildTargetDatasetStreamExportCtx(ctx context.Context, w *World, crawlCfg CrawlConfig, cfg PipelineConfig, seed uint64) (*Dataset, *OriginTable, error) {
+	return pipeline.RunStreamExport(ctx, w, crawlCfg, cfg, seed)
+}
+
+// WriteDatasetSnapshot serializes a snapshot artifact. The bytes are a
+// pure function of the contents: the same dataset and origin table
+// always produce the same artifact, and reading it back (see
+// ReadDatasetSnapshot) reproduces both bit-identically.
+func WriteDatasetSnapshot(out io.Writer, snap *DatasetSnapshot) error {
+	return snapshot.Write(out, snap)
+}
+
+// ReadDatasetSnapshot parses an artifact written by WriteDatasetSnapshot,
+// strictly: truncation, checksum damage, bad magic, and version skew are
+// all rejected with typed errors (snapshot.ErrTruncated et al.).
+func ReadDatasetSnapshot(in io.Reader) (*DatasetSnapshot, error) {
+	return snapshot.Read(in)
+}
 
 // BuildRIB computes policy routing over the world and materializes the
 // RIB seen from the vantage AS. For several RIBs over one world, compute

@@ -286,6 +286,20 @@ func NewOriginTableObs(reg *obs.Registry, ribs ...*RIB) *OriginTable {
 	return ot
 }
 
+// NewOriginTableFromCompiled wraps an already-compiled flat LPM table —
+// the shape a dataset snapshot deserializes — into an OriginTable. The
+// mutable build-time trie is absent: OriginOf serves straight from the
+// compiled form, and OriginOfUncompiled falls back to it too (there is
+// no trie to reference).
+func NewOriginTableFromCompiled(c *ipnet.Compiled[astopo.ASN]) *OriginTable {
+	return &OriginTable{compiled: c, size: c.Len()}
+}
+
+// Compiled exposes the origin table's immutable flat LPM form (nil if
+// the table was never compiled) — the serialization surface snapshots
+// persist.
+func (ot *OriginTable) Compiled() *ipnet.Compiled[astopo.ASN] { return ot.compiled }
+
 // Segments exposes the compiled table's flat segment count (a capacity
 // diagnostic; see ipnet.Compiled.Segments).
 func (ot *OriginTable) Segments() int {
@@ -306,8 +320,13 @@ func (ot *OriginTable) OriginOf(a ipnet.Addr) (astopo.ASN, bool) {
 // OriginOfUncompiled answers the same query through the mutable radix
 // trie. It is the reference path, retained for differential tests that
 // prove the compiled wiring changes nothing (and benchmarks that measure
-// what it buys).
+// what it buys). Tables reconstructed from a snapshot
+// (NewOriginTableFromCompiled) have no trie and serve from the compiled
+// form here too.
 func (ot *OriginTable) OriginOfUncompiled(a ipnet.Addr) (astopo.ASN, bool) {
+	if ot.table == nil {
+		return ot.compiled.Lookup(a)
+	}
 	return ot.table.Lookup(a)
 }
 

@@ -12,6 +12,7 @@
 //   - origin-miss               — a BGP origin lookup finds no prefix
 //   - rib-truncate / rib-corrupt — RIB dump rows cut off or mangled
 //   - worker-panic              — a worker goroutine panics mid-block
+//   - snap-corrupt              — dataset snapshot bytes flipped on disk
 //
 // Determinism discipline: every injection decision is a pure function of
 // (plan seed, fault point, site key) — the same splitmix64 split scheme
@@ -81,6 +82,10 @@ const (
 	// pool must recover it into an error instead of crashing the
 	// process.
 	WorkerPanic Point = "worker-panic"
+	// SnapCorrupt flips bits in a written dataset snapshot (a bad disk,
+	// a torn download); the snapshot reader must reject the artifact
+	// with a typed checksum error instead of serving poisoned data.
+	SnapCorrupt Point = "snap-corrupt"
 )
 
 // Points lists every fault point in canonical order (the order
@@ -91,6 +96,7 @@ var Points = []Point{
 	OriginMiss,
 	RIBTruncate, RIBCorrupt,
 	WorkerPanic,
+	SnapCorrupt,
 }
 
 // Valid reports whether p names a known fault point.

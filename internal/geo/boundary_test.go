@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalizeLonBoundaries audits the antimeridian seam. The contract
+// is [-180, 180): +180 must never come back, including for inputs one
+// ulp outside the seam where the wrap arithmetic hits a round-to-even
+// halfway case (the bug this table pinned down: -180-ulp normalized to
+// exactly +180, which Point.Valid rejects).
+func TestNormalizeLonBoundaries(t *testing.T) {
+	ulpBelowNeg180 := math.Nextafter(-180, math.Inf(-1))
+	ulpAbove180 := math.Nextafter(180, math.Inf(1))
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"zero", 0, 0},
+		{"positive seam", 180, -180},
+		{"negative seam", -180, -180},
+		{"full turn", 360, 0},
+		{"negative full turn", -360, 0},
+		{"turn and a half", 540, -180},
+		{"negative turn and a half", -540, -180},
+		{"two turns plus", 725, 5},
+		{"interior", 179.5, 179.5},
+		{"interior negative", -179.5, -179.5},
+		{"one ulp below -180", ulpBelowNeg180, -180},
+		{"one ulp above 180", ulpAbove180, -180},
+		{"one ulp below -540", math.Nextafter(-540, math.Inf(-1)), 179.99999999999989},
+		{"huge positive", 36000 + 90, 90},
+		{"huge negative", -36000 - 90, -90},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := NormalizeLon(c.in)
+			if got != c.want {
+				t.Errorf("NormalizeLon(%.17g) = %.17g, want %.17g", c.in, got, c.want)
+			}
+			if !(got >= -180 && got < 180) {
+				t.Errorf("NormalizeLon(%.17g) = %.17g outside [-180, 180)", c.in, got)
+			}
+		})
+	}
+	// Exhaustive ulp walk across both sides of each seam: every output
+	// must satisfy the range contract.
+	for _, seam := range []float64{-540, -180, 180, 540} {
+		lo, hi := seam, seam
+		for i := 0; i < 64; i++ {
+			lo = math.Nextafter(lo, math.Inf(-1))
+			hi = math.Nextafter(hi, math.Inf(1))
+		}
+		for x := lo; x <= hi; x = math.Nextafter(x, math.Inf(1)) {
+			got := NormalizeLon(x)
+			if !(got >= -180 && got < 180) {
+				t.Fatalf("NormalizeLon(%.17g) = %.17g outside [-180, 180)", x, got)
+			}
+		}
+	}
+	// Non-finite stays non-finite rather than masquerading as a place.
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := NormalizeLon(x); !math.IsNaN(got) {
+			t.Errorf("NormalizeLon(%v) = %v, want NaN", x, got)
+		}
+	}
+}
+
+func TestClampLatBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"zero", 0, 0},
+		{"north pole", 90, 90},
+		{"south pole", -90, -90},
+		{"one ulp past north", math.Nextafter(90, math.Inf(1)), 90},
+		{"one ulp past south", math.Nextafter(-90, math.Inf(-1)), -90},
+		{"one ulp inside north", math.Nextafter(90, 0), math.Nextafter(90, 0)},
+		{"far north", 91, 90},
+		{"far south", -270, -90},
+		{"positive infinity", math.Inf(1), 90},
+		{"negative infinity", math.Inf(-1), -90},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ClampLat(c.in); got != c.want {
+				t.Errorf("ClampLat(%.17g) = %.17g, want %.17g", c.in, got, c.want)
+			}
+		})
+	}
+	if got := ClampLat(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("ClampLat(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestNormalizeProducesValidPoints: for any finite input point,
+// Normalize must yield a point Valid accepts — the invariant the seam
+// fix restores.
+func TestNormalizeProducesValidPoints(t *testing.T) {
+	lats := []float64{-91, -90, 0, 90, 91, math.Nextafter(90, math.Inf(1))}
+	lons := []float64{
+		-720, -540, math.Nextafter(-180, math.Inf(-1)), -180, 0,
+		179.99999999999997, 180, math.Nextafter(180, math.Inf(1)), 540, 725,
+	}
+	for _, lat := range lats {
+		for _, lon := range lons {
+			p := Point{Lat: lat, Lon: lon}.Normalize()
+			if !p.Valid() {
+				t.Errorf("Normalize(%v,%v) = %v is not Valid", lat, lon, p)
+			}
+		}
+	}
+}

@@ -34,16 +34,28 @@ func (p Point) Valid() bool {
 		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
 }
 
-// NormalizeLon wraps a longitude into [-180, 180).
+// NormalizeLon wraps a longitude into [-180, 180). NaN and ±Inf pass
+// through as NaN (Valid rejects them); cleaning garbage coordinates is
+// the ingestion layer's job, not a silent repair here.
 func NormalizeLon(lon float64) float64 {
 	lon = math.Mod(lon+180, 360)
 	if lon < 0 {
 		lon += 360
 	}
-	return lon - 180
+	lon -= 180
+	// The wrap can land exactly on the excluded seam: for inputs one ulp
+	// below -180, lon+360 rounds to 360 (round-to-even on the halfway
+	// case) and the subtraction yields +180 — outside the contract and
+	// rejected by Point.Valid. Same meridian, canonical sign.
+	if lon >= 180 {
+		lon = -180
+	}
+	return lon
 }
 
-// ClampLat clamps a latitude into [-90, 90].
+// ClampLat clamps a latitude into [-90, 90]. NaN passes through (the
+// comparisons are false), mirroring NormalizeLon: invalid stays
+// visibly invalid.
 func ClampLat(lat float64) float64 {
 	if lat > 90 {
 		return 90

@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"eyeballas/internal/geo"
+)
+
+// TestCellOfBoundaries audits the half-open cell convention: cell (i,j)
+// covers [MinX+i·C, MinX+(i+1)·C) × [MinY+j·C, MinY+(j+1)·C). Left and
+// bottom edges are inside, right and top edges are out — including the
+// grid's own outer edges.
+func TestCellOfBoundaries(t *testing.T) {
+	g := New(-100, -50, 10, 20, 10) // x ∈ [-100, 100), y ∈ [-50, 50)
+	cases := []struct {
+		name string
+		p    geo.XY
+		i, j int
+		ok   bool
+	}{
+		{"origin corner", geo.XY{X: -100, Y: -50}, 0, 0, true},
+		{"interior", geo.XY{X: 0, Y: 0}, 10, 5, true},
+		{"interior cell edge belongs to upper cell", geo.XY{X: -90, Y: -40}, 1, 1, true},
+		{"just below interior edge", geo.XY{X: math.Nextafter(-90, math.Inf(-1)), Y: -50}, 0, 0, true},
+		{"right edge excluded", geo.XY{X: 100, Y: 0}, 20, 5, false},
+		{"top edge excluded", geo.XY{X: 0, Y: 50}, 10, 10, false},
+		{"far corner excluded", geo.XY{X: 100, Y: 50}, 20, 10, false},
+		{"just inside right edge", geo.XY{X: math.Nextafter(100, 0), Y: 0}, 19, 5, true},
+		{"just inside top edge", geo.XY{X: 0, Y: math.Nextafter(50, 0)}, 10, 9, true},
+		{"just left of grid", geo.XY{X: math.Nextafter(-100, math.Inf(-1)), Y: 0}, -1, 5, false},
+		{"just below grid", geo.XY{X: 0, Y: math.Nextafter(-50, math.Inf(-1))}, 10, -1, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			i, j, ok := g.CellOf(c.p)
+			if i != c.i || j != c.j || ok != c.ok {
+				t.Errorf("CellOf(%v) = (%d,%d,%v), want (%d,%d,%v)", c.p, i, j, ok, c.i, c.j, c.ok)
+			}
+		})
+	}
+	// Far-outside points: exact indices are rounding-dominated and not
+	// part of the contract, but membership must be false.
+	if _, _, ok := g.CellOf(geo.XY{X: 1e9, Y: -1e9}); ok {
+		t.Error("CellOf(1e9, -1e9) claimed in-grid")
+	}
+	// NaN coordinates must be out of the grid, never a panic or a bogus
+	// in-range cell.
+	if _, _, ok := g.CellOf(geo.XY{X: math.NaN(), Y: 0}); ok {
+		t.Error("CellOf(NaN, 0) claimed in-grid")
+	}
+	if _, _, ok := g.CellOf(geo.XY{X: 0, Y: math.NaN()}); ok {
+		t.Error("CellOf(0, NaN) claimed in-grid")
+	}
+}
+
+// TestCellOfCenterRoundTrip: the centre of every cell must map back to
+// that cell, for grids with awkward (non-representable) origins and
+// cell sizes where naive division is most fragile.
+func TestCellOfCenterRoundTrip(t *testing.T) {
+	grids := []*Grid{
+		New(-100, -50, 10, 20, 10),
+		New(-123.456, 78.9, 0.1, 37, 41),
+		New(0.1, -0.3, 1.0/3.0, 13, 7),
+		New(-4040.40, -2021.7, 2.5, 101, 53),
+	}
+	for _, g := range grids {
+		for j := 0; j < g.H; j++ {
+			for i := 0; i < g.W; i++ {
+				gi, gj, ok := g.CellOf(g.Center(i, j))
+				if !ok || gi != i || gj != j {
+					t.Fatalf("grid(%v,%v,%v): CellOf(Center(%d,%d)) = (%d,%d,%v)",
+						g.MinX, g.MinY, g.Cell, i, j, gi, gj, ok)
+				}
+			}
+		}
+	}
+}

@@ -49,11 +49,28 @@ func (g *Grid) Center(i, j int) geo.XY {
 }
 
 // CellOf returns the cell containing the km-space point, and whether it is
-// inside the grid.
+// inside the grid. Membership follows the half-open edge definition in the
+// type doc exactly: a point one ulp inside the grid's outer edge is inside,
+// the edge itself is not.
 func (g *Grid) CellOf(p geo.XY) (i, j int, ok bool) {
-	i = int(math.Floor((p.X - g.MinX) / g.Cell))
-	j = int(math.Floor((p.Y - g.MinY) / g.Cell))
+	i = cellIndex(p.X, g.MinX, g.Cell)
+	j = cellIndex(p.Y, g.MinY, g.Cell)
 	return i, j, i >= 0 && i < g.W && j >= 0 && j < g.H
+}
+
+// cellIndex locates x on the axis starting at min with the given cell
+// size. The floor-of-division estimate can land one cell off the
+// defining edges (the division rounds: x one ulp below an edge can
+// quotient exactly to the edge's cell), so the estimate is corrected
+// against the min + i·cell expressions that define cell bounds.
+func cellIndex(x, min, cell float64) int {
+	i := int(math.Floor((x - min) / cell))
+	if x < min+float64(i)*cell {
+		i--
+	} else if x >= min+float64(i+1)*cell {
+		i++
+	}
+	return i
 }
 
 // Max returns the maximum cell value and its cell coordinates. An empty

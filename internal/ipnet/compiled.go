@@ -1,5 +1,7 @@
 package ipnet
 
+import "fmt"
+
 // Compiled is an immutable, flat compilation of a Table: the
 // pointer-chasing binary radix trie frozen into sorted disjoint address
 // ranges, one per region of the address space with a distinct
@@ -181,4 +183,84 @@ func (c *Compiled[V]) Walk(fn func(Prefix, V) bool) {
 			return
 		}
 	}
+}
+
+// Dump exposes the compiled form's canonical arrays for serialization:
+// the stored (prefix, value) pairs in Walk order and the flattened LPM
+// segments (ascending start addresses with, per segment, the index of
+// the matching prefix or -1). The returned slices are copies; mutating
+// them does not affect the compiled table. The direct top-16-bit index
+// is derived state and deliberately not exposed — CompiledFromDump
+// rebuilds it.
+func (c *Compiled[V]) Dump() (prefixes []Prefix, values []V, starts []Addr, segIdx []int32) {
+	prefixes = append([]Prefix(nil), c.prefixes...)
+	values = append([]V(nil), c.values...)
+	starts = append([]Addr(nil), c.starts...)
+	segIdx = append([]int32(nil), c.segIdx...)
+	return prefixes, values, starts, segIdx
+}
+
+// CompiledFromDump reconstructs a Compiled table from the arrays Dump
+// produced, validating every structural invariant a malformed or
+// corrupted dump could violate — prefix canonical form and ordering,
+// segment start monotonicity (starts[0] must be 0), and segment index
+// range — before rebuilding the derived top-16-bit direct index. A dump
+// that round-trips Dump→CompiledFromDump answers every Lookup,
+// LookupPrefix, and Walk identically to the original.
+func CompiledFromDump[V any](prefixes []Prefix, values []V, starts []Addr, segIdx []int32) (*Compiled[V], error) {
+	if len(prefixes) != len(values) {
+		return nil, fmt.Errorf("ipnet: dump has %d prefixes but %d values", len(prefixes), len(values))
+	}
+	if len(starts) != len(segIdx) {
+		return nil, fmt.Errorf("ipnet: dump has %d segment starts but %d segment indices", len(starts), len(segIdx))
+	}
+	if len(starts) == 0 || starts[0] != 0 {
+		return nil, fmt.Errorf("ipnet: dump segment list must begin with a segment at address 0")
+	}
+	if len(starts) > 2*len(prefixes)+1 {
+		return nil, fmt.Errorf("ipnet: dump has %d segments for %d prefixes (max %d)",
+			len(starts), len(prefixes), 2*len(prefixes)+1)
+	}
+	for i, p := range prefixes {
+		if p.Bits < 0 || p.Bits > 32 {
+			return nil, fmt.Errorf("ipnet: dump prefix %d has invalid length /%d", i, p.Bits)
+		}
+		if p.Addr&mask(p.Bits) != p.Addr {
+			return nil, fmt.Errorf("ipnet: dump prefix %d (%s) has host bits set", i, p)
+		}
+		if i > 0 {
+			q := prefixes[i-1]
+			if p.Addr < q.Addr || (p.Addr == q.Addr && p.Bits <= q.Bits) {
+				return nil, fmt.Errorf("ipnet: dump prefixes out of Walk order at %d (%s after %s)", i, p, q)
+			}
+		}
+	}
+	for k, idx := range segIdx {
+		if k > 0 && starts[k] <= starts[k-1] {
+			return nil, fmt.Errorf("ipnet: dump segment starts not strictly ascending at %d", k)
+		}
+		if idx < -1 || int(idx) >= len(prefixes) {
+			return nil, fmt.Errorf("ipnet: dump segment %d references prefix %d of %d", k, idx, len(prefixes))
+		}
+		if idx >= 0 && !prefixes[idx].Contains(starts[k]) {
+			return nil, fmt.Errorf("ipnet: dump segment %d start %s outside its prefix %s", k, starts[k], prefixes[idx])
+		}
+	}
+	c := &Compiled[V]{
+		prefixes: append([]Prefix(nil), prefixes...),
+		values:   append([]V(nil), values...),
+		starts:   append([]Addr(nil), starts...),
+		segIdx:   append([]int32(nil), segIdx...),
+	}
+	c.first = make([]int32, (1<<16)+1)
+	ch := 1
+	for k := 1; k < len(c.starts); k++ {
+		for sc := int(c.starts[k] >> 16); ch <= sc; ch++ {
+			c.first[ch] = int32(k)
+		}
+	}
+	for ; ch <= 1<<16; ch++ {
+		c.first[ch] = int32(len(c.starts))
+	}
+	return c, nil
 }

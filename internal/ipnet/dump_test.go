@@ -1,0 +1,167 @@
+package ipnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func dumpTable(t *testing.T) *Compiled[int] {
+	t.Helper()
+	tbl := NewTable[int]()
+	for i, s := range []string{
+		"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24",
+		"172.16.0.0/12", "192.168.0.0/16", "192.168.1.0/24", "255.255.255.255/32",
+	} {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			t.Fatalf("ParsePrefix(%s): %v", s, err)
+		}
+		tbl.Insert(p, i)
+	}
+	return tbl.Compile()
+}
+
+// TestDumpRoundTrip proves Dump → CompiledFromDump reproduces the
+// compiled table exactly: same arrays, same derived index behaviour,
+// identical answers for every probe.
+func TestDumpRoundTrip(t *testing.T) {
+	c := dumpTable(t)
+	re, err := CompiledFromDump(c.Dump())
+	if err != nil {
+		t.Fatalf("CompiledFromDump: %v", err)
+	}
+	if re.Len() != c.Len() || re.Segments() != c.Segments() {
+		t.Fatalf("shape: got (%d,%d) want (%d,%d)", re.Len(), re.Segments(), c.Len(), c.Segments())
+	}
+	// Sweep a dense sample of the space plus all segment boundaries.
+	_, _, starts, _ := c.Dump()
+	probes := append([]Addr(nil), starts...)
+	for _, s := range starts {
+		if s > 0 {
+			probes = append(probes, s-1)
+		}
+		probes = append(probes, s+1)
+	}
+	for a := uint64(0); a <= uint64(maxAddr); a += 1<<22 + 12347 {
+		probes = append(probes, Addr(a))
+	}
+	probes = append(probes, maxAddr)
+	for _, a := range probes {
+		wv, wok := c.Lookup(a)
+		gv, gok := re.Lookup(a)
+		if wv != gv || wok != gok {
+			t.Fatalf("Lookup(%s): got (%d,%v) want (%d,%v)", a, gv, gok, wv, wok)
+		}
+	}
+	c.Walk(func(p Prefix, v int) bool {
+		gv, ok := re.LookupPrefix(p)
+		if !ok || gv != v {
+			t.Fatalf("LookupPrefix(%s): got (%d,%v) want (%d,true)", p, gv, ok, v)
+		}
+		return true
+	})
+}
+
+// TestCompiledFromDumpRejectsInvalid feeds structurally damaged dumps
+// and requires each to be rejected with a descriptive error — the
+// validation layer the snapshot reader relies on for LPM payloads.
+func TestCompiledFromDumpRejectsInvalid(t *testing.T) {
+	c := dumpTable(t)
+	p, v, s, i := c.Dump()
+	cases := map[string]func() error{
+		"length mismatch values": func() error {
+			_, err := CompiledFromDump(p, v[:len(v)-1], s, i)
+			return err
+		},
+		"length mismatch segments": func() error {
+			_, err := CompiledFromDump(p, v, s, i[:len(i)-1])
+			return err
+		},
+		"empty segments": func() error {
+			_, err := CompiledFromDump(p, v, nil, nil)
+			return err
+		},
+		"first segment not zero": func() error {
+			s2 := append([]Addr(nil), s...)
+			s2[0] = 5
+			_, err := CompiledFromDump(p, v, s2, i)
+			return err
+		},
+		"too many segments": func() error {
+			s2 := append([]Addr(nil), s...)
+			i2 := append([]int32(nil), i...)
+			for len(s2) <= 2*len(p)+1 {
+				s2 = append(s2, s2[len(s2)-1]+1)
+				i2 = append(i2, -1)
+			}
+			_, err := CompiledFromDump(p, v, s2, i2)
+			return err
+		},
+		"host bits set": func() error {
+			p2 := append([]Prefix(nil), p...)
+			p2[1] = Prefix{Addr: p2[1].Addr | 1, Bits: p2[1].Bits}
+			_, err := CompiledFromDump(p2, v, s, i)
+			return err
+		},
+		"bits out of range": func() error {
+			p2 := append([]Prefix(nil), p...)
+			p2[0] = Prefix{Addr: p2[0].Addr, Bits: 33}
+			_, err := CompiledFromDump(p2, v, s, i)
+			return err
+		},
+		"prefixes out of order": func() error {
+			p2 := append([]Prefix(nil), p...)
+			p2[1], p2[2] = p2[2], p2[1]
+			_, err := CompiledFromDump(p2, v, s, i)
+			return err
+		},
+		"starts not ascending": func() error {
+			s2 := append([]Addr(nil), s...)
+			s2[2] = s2[1]
+			_, err := CompiledFromDump(p, v, s2, i)
+			return err
+		},
+		"segment index out of range": func() error {
+			i2 := append([]int32(nil), i...)
+			i2[1] = int32(len(p))
+			_, err := CompiledFromDump(p, v, s, i2)
+			return err
+		},
+		"segment index below -1": func() error {
+			i2 := append([]int32(nil), i...)
+			i2[1] = -2
+			_, err := CompiledFromDump(p, v, s, i2)
+			return err
+		},
+		"start outside its prefix": func() error {
+			// Point a segment in the 10.0.0.0/8 range at the
+			// 192.168.0.0/16 prefix.
+			s2 := append([]Addr(nil), s...)
+			i2 := append([]int32(nil), i...)
+			var tenIdx, pIdx int32 = -1, -1
+			for k, start := range s2 {
+				if start == MakeAddr(10, 0, 0, 0) {
+					tenIdx = int32(k)
+				}
+			}
+			for j, q := range p {
+				if q.Addr == MakeAddr(192, 168, 0, 0) && q.Bits == 16 {
+					pIdx = int32(j)
+				}
+			}
+			if tenIdx < 0 || pIdx < 0 {
+				t.Fatal("test fixture lost its prefixes")
+			}
+			i2[tenIdx] = pIdx
+			_, err := CompiledFromDump(p, v, s2, i2)
+			return err
+		},
+	}
+	for name, fn := range cases {
+		if err := fn(); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.HasPrefix(err.Error(), "ipnet: ") {
+			t.Errorf("%s: error %q missing ipnet prefix", name, err)
+		}
+	}
+}

@@ -778,6 +778,15 @@ func condition(ctx context.Context, ds *Dataset, cfg Config, stCond *obs.Stage, 
 // crawl as well as the build, so one plan drives every ingestion
 // boundary.
 func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *p2p.Crawl, error) {
+	ds, crawl, _, err := RunExport(ctx, w, crawlCfg, cfg, crawlSeed)
+	return ds, crawl, err
+}
+
+// RunExport is Run plus the compiled origin table the build resolved
+// peers against — the export hook the snapshot writer uses, so the
+// serving artifact carries the exact LPM the dataset was conditioned
+// with instead of a re-derived one.
+func RunExport(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *p2p.Crawl, *bgp.OriginTable, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -791,17 +800,17 @@ func Run(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, 
 	}
 	crawl, err := p2p.Run(ctx, w, crawlCfg, seedSource(crawlSeed))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	origins, err := originTable(ctx, w, cfg, span)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ds, err := Build(ctx, crawl, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return ds, crawl, nil
+	return ds, crawl, origins, nil
 }
 
 // originTable computes policy routing and builds the origin table from

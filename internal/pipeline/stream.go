@@ -387,6 +387,14 @@ func BuildFromSource(ctx context.Context, w *astopo.World, src p2p.PeerSource, c
 // bit-identical to Run's for the same inputs (Run itself drains the
 // same generative source).
 func RunStream(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, error) {
+	ds, _, err := RunStreamExport(ctx, w, crawlCfg, cfg, crawlSeed)
+	return ds, err
+}
+
+// RunStreamExport is RunStream plus the compiled origin table the build
+// resolved peers against — the streaming counterpart of RunExport, used
+// by the snapshot writer.
+func RunStreamExport(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Config, crawlSeed uint64) (*Dataset, *bgp.OriginTable, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -400,8 +408,12 @@ func RunStream(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Co
 	}
 	origins, err := originTable(ctx, w, cfg, span)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	src := p2p.NewCrawlSource(w, crawlCfg, seedSource(crawlSeed))
-	return BuildStream(ctx, src, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
+	ds, err := BuildStream(ctx, src, geodb.NewGeoCity(w), geodb.NewIPLoc(w), origins, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, origins, nil
 }

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Benchmarks back scripts/bench_serve.sh: the cached-footprint and
+// lookup paths are the steady-state hot paths of eyeballserve, and the
+// bench gate holds their per-request allocations flat.
+
+func benchServer(b *testing.B) http.Handler {
+	s, _, _ := newTestServer(b, Options{})
+	return s.Handler()
+}
+
+func BenchmarkFootprintCached(b *testing.B) {
+	h := benchServer(b)
+	// Prime the cache so the loop measures the hit path.
+	req := httptest.NewRequest(http.MethodGet, "/v1/footprint/64500", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("prime: %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/footprint/64500", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	h := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/lookup?ip=10.1.2.3", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkASRecord(b *testing.B) {
+	h := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/as/64500", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}

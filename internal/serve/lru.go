@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"eyeballas/internal/astopo"
+)
+
+// cacheKey identifies one rendered footprint. The snapshot generation
+// is part of the key, so a hot-swap implicitly invalidates every entry
+// rendered from the old artifact without any eviction sweep: stale
+// entries simply stop being addressable and age out of the LRU tail.
+type cacheKey struct {
+	gen uint64
+	asn astopo.ASN
+	bw  uint64 // math.Float64bits of the bandwidth, so NaN/-0 key safely
+}
+
+// lruCache is a bounded, mutex-guarded LRU over rendered footprint
+// bytes. Values are immutable once inserted (handlers write the slice
+// to the response without copying), which is what makes the shared
+// reference safe under concurrent readers.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		return nil // nil cache: every lookup misses, every add is a no-op
+	}
+	return &lruCache{max: max, order: list.New(), items: make(map[cacheKey]*list.Element, max)}
+}
+
+func (c *lruCache) get(k cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *lruCache) add(k cacheKey, v []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: k, val: v})
+	c.items[k] = el
+	if c.order.Len() > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries (diagnostic).
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,433 @@
+// Package serve is the query layer over snapshot artifacts: an HTTP
+// server that loads a versioned binary snapshot (internal/snapshot) at
+// startup and answers classification, origin-lookup, and footprint
+// queries from it — the "compile offline, serve online" split that
+// turns the paper's batch methodology into an operable system.
+//
+// Operational properties:
+//
+//   - Hot swap. The current artifact lives behind one atomic pointer.
+//     A reload (SIGHUP or POST /-/reload) parses and fully validates
+//     the new artifact off to the side and only then swaps the pointer;
+//     in-flight requests keep the artifact pointer they loaded at entry
+//     and finish on the old snapshot. A reload that fails validation —
+//     truncated, checksum-corrupt, version-skewed — leaves the old
+//     artifact serving and reports the typed snapshot error.
+//
+//   - Load shedding. A fixed-size semaphore bounds concurrently served
+//     requests; excess requests are shed immediately with 503 and
+//     Retry-After rather than queueing without bound. /healthz and the
+//     reload endpoint are exempt so probes and operators get through
+//     under overload.
+//
+//   - Bounded caching. Rendered footprints — the one expensive query,
+//     a full KDE grid per call — are cached in an LRU keyed by
+//     (generation, ASN, bandwidth). The generation in the key makes a
+//     hot swap invalidate the cache implicitly.
+//
+//   - Deadlines. Every request runs under a per-request context
+//     timeout; the footprint estimator observes cancellation at KDE
+//     block boundaries, so a stuck query returns 504 instead of holding
+//     a semaphore slot forever.
+//
+// Every response the data endpoints produce is rendered by the same
+// code paths the offline tools use (RenderFootprint in particular), so
+// served bytes are bit-identical to eyeballpipe's exports for the same
+// dataset — proven end to end in CI.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/snapshot"
+)
+
+// Options configure a Server. Zero fields take the listed defaults.
+type Options struct {
+	// Timeout bounds each request's handling (default 5s; negative
+	// disables).
+	Timeout time.Duration
+	// MaxInflight bounds concurrently served data requests; excess
+	// requests are shed with 503 (default 64; negative disables).
+	MaxInflight int
+	// CacheSize bounds the rendered-footprint LRU in entries (default
+	// 128; negative disables caching).
+	CacheSize int
+	// BandwidthKm is the footprint bandwidth used when a request does
+	// not pass ?bw= (default 40, the paper's kernel).
+	BandwidthKm float64
+	// Workers is the KDE worker count per footprint render (default 1;
+	// renders are already request-parallel).
+	Workers int
+	// Obs receives request metrics; nil disables instrumentation.
+	Obs *obs.Registry
+	// Gaz maps density peaks to cities (default gazetteer.Default()).
+	Gaz *gazetteer.Gazetteer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.BandwidthKm == 0 {
+		o.BandwidthKm = 40
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Gaz == nil {
+		o.Gaz = gazetteer.Default()
+	}
+	return o
+}
+
+// Artifact is one installed snapshot: the parsed artifact plus the path
+// it came from (the reload target) and its install generation.
+type Artifact struct {
+	Snap *snapshot.Snapshot
+	Path string
+	Gen  uint64
+}
+
+// Server answers queries from the currently installed Artifact. Create
+// with New, install an artifact with Load or LoadFile, and mount
+// Handler on an http.Server.
+type Server struct {
+	opts Options
+	art  atomic.Pointer[Artifact]
+
+	sem   chan struct{}
+	cache *lruCache
+
+	// reloadMu serializes Load/Reload so two concurrent reloads cannot
+	// interleave generation assignment; readers never take it.
+	reloadMu sync.Mutex
+	nextGen  uint64
+}
+
+// New creates a server with no artifact installed (healthz reports 503
+// until Load succeeds).
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{opts: o}
+	if o.MaxInflight > 0 {
+		s.sem = make(chan struct{}, o.MaxInflight)
+	}
+	if o.CacheSize > 0 {
+		s.cache = newLRUCache(o.CacheSize)
+	}
+	return s
+}
+
+// Load installs a parsed snapshot as the serving artifact.
+func (s *Server) Load(snap *snapshot.Snapshot, path string) *Artifact {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.install(snap, path)
+}
+
+func (s *Server) install(snap *snapshot.Snapshot, path string) *Artifact {
+	s.nextGen++
+	a := &Artifact{Snap: snap, Path: path, Gen: s.nextGen}
+	s.art.Store(a)
+	s.opts.Obs.Gauge("eyeball_serve_snapshot_generation").Set(float64(a.Gen))
+	s.opts.Obs.Gauge("eyeball_serve_snapshot_ases").Set(float64(len(snap.Dataset.Order)))
+	return a
+}
+
+// LoadFile reads, validates, and installs a snapshot artifact from
+// disk. On error nothing changes: whatever artifact was serving keeps
+// serving.
+func (s *Server) LoadFile(path string) (*Artifact, error) {
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Load(snap, path), nil
+}
+
+// Reload re-reads the current artifact's file and hot-swaps to it. The
+// swap happens only after the new artifact fully parses and validates;
+// on any error — including a snapshot corrupted on disk since the last
+// load — the old artifact keeps serving and the typed snapshot error is
+// returned. In-flight requests that started before the swap finish on
+// the artifact they loaded at entry.
+func (s *Server) Reload() (*Artifact, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.art.Load()
+	if cur == nil {
+		return nil, fmt.Errorf("serve: no artifact installed to reload")
+	}
+	snap, err := snapshot.ReadFile(cur.Path)
+	if err != nil {
+		s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "error").Inc()
+		return nil, err
+	}
+	a := s.install(snap, cur.Path)
+	s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "ok").Inc()
+	return a, nil
+}
+
+// Artifact returns the currently serving artifact (nil before Load).
+func (s *Server) Artifact() *Artifact { return s.art.Load() }
+
+// Handler returns the server's route table:
+//
+//	GET  /healthz              liveness + artifact summary
+//	GET  /v1/as/{asn}          classification record for one AS
+//	GET  /v1/lookup?ip=a.b.c.d origin AS of an address (compiled LPM)
+//	GET  /v1/footprint/{asn}   PoP-level footprint (?bw= overrides km)
+//	POST /-/reload             hot-swap to the re-read artifact file
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /v1/as/{asn}", s.instrument("as", true, s.handleAS))
+	mux.Handle("GET /v1/lookup", s.instrument("lookup", true, s.handleLookup))
+	mux.Handle("GET /v1/footprint/{asn}", s.instrument("footprint", true, s.handleFootprint))
+	mux.Handle("POST /-/reload", s.instrument("reload", false, s.handleReload))
+	return mux
+}
+
+// statusWriter records the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the serving discipline: load
+// shedding (when limited), the per-request deadline, and request/
+// latency metrics.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	hist := s.opts.Obs.Histogram("eyeball_serve_latency_seconds", obs.LatencyBuckets(), "endpoint", endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			hist.Observe(time.Since(start).Seconds())
+			s.opts.Obs.Counter("eyeball_serve_requests_total",
+				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+		}()
+
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.opts.Obs.Counter("eyeball_serve_shed_total", "endpoint", endpoint).Inc()
+				sw.Header().Set("Retry-After", "1")
+				writeJSON(sw, http.StatusServiceUnavailable, map[string]any{
+					"error": "overloaded: in-flight request limit reached",
+				})
+				return
+			}
+		}
+		if s.opts.Timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// artifactOr503 resolves the serving artifact once per request; every
+// subsequent read in the handler uses this pointer, so a concurrent
+// hot swap cannot mix two snapshots within one response.
+func (s *Server) artifactOr503(w http.ResponseWriter) *Artifact {
+	a := s.art.Load()
+	if a == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded")
+	}
+	return a
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	a := s.art.Load()
+	if a == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		return
+	}
+	ds := a.Snap.Dataset
+	resp := map[string]any{
+		"status":     "ok",
+		"generation": a.Gen,
+		"ases":       len(ds.Order),
+		"peers":      ds.TotalPeers,
+		"degraded":   ds.Degraded,
+	}
+	if a.Snap.Origins != nil {
+		resp["lpm_prefixes"] = a.Snap.Origins.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func pathASN(w http.ResponseWriter, r *http.Request) (astopo.ASN, bool) {
+	raw := r.PathValue("asn")
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, "bad ASN %q", raw)
+		return 0, false
+	}
+	return astopo.ASN(n), true
+}
+
+func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
+	a := s.artifactOr503(w)
+	if a == nil {
+		return
+	}
+	asn, ok := pathASN(w, r)
+	if !ok {
+		return
+	}
+	rec := a.Snap.Dataset.AS(asn)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "AS%d not in dataset", asn)
+		return
+	}
+	byApp := map[string]int{}
+	for app, n := range rec.PeersByApp {
+		byApp[app.String()] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"asn":     int(rec.ASN),
+		"users":   rec.Users,
+		"samples": len(rec.Samples),
+		"class": map[string]any{
+			"level": rec.Class.Level.String(),
+			"place": rec.Class.Place,
+			"share": rec.Class.Share,
+		},
+		"region":        string(rec.Region),
+		"p90_geoerr_km": rec.P90GeoErrKm,
+		"peers_by_app":  byApp,
+	})
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	a := s.artifactOr503(w)
+	if a == nil {
+		return
+	}
+	raw := r.URL.Query().Get("ip")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing ip query parameter")
+		return
+	}
+	addr, err := ipnet.ParseAddr(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad ip %q", raw)
+		return
+	}
+	if a.Snap.Origins == nil {
+		writeError(w, http.StatusServiceUnavailable, "snapshot carries no origin table")
+		return
+	}
+	asn, ok := a.Snap.Origins.OriginOf(addr)
+	resp := map[string]any{"ip": addr.String(), "matched": ok}
+	if ok {
+		resp["asn"] = int(asn)
+		resp["in_dataset"] = a.Snap.Dataset.AS(asn) != nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
+	a := s.artifactOr503(w)
+	if a == nil {
+		return
+	}
+	asn, ok := pathASN(w, r)
+	if !ok {
+		return
+	}
+	bw := s.opts.BandwidthKm
+	if raw := r.URL.Query().Get("bw"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || !(v > 0) {
+			writeError(w, http.StatusBadRequest, "bad bandwidth %q", raw)
+			return
+		}
+		bw = v
+	}
+	rec := a.Snap.Dataset.AS(asn)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "AS%d not in dataset", asn)
+		return
+	}
+
+	key := cacheKey{gen: a.Gen, asn: asn, bw: math.Float64bits(bw)}
+	if body, ok := s.cache.get(key); ok {
+		s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "hit").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "miss").Inc()
+
+	body, err := RenderFootprint(r.Context(), s.opts.Gaz, rec, bw, s.opts.Workers, s.opts.Obs)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, "footprint render timed out: %v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "footprint render failed: %v", err)
+		return
+	}
+	s.cache.add(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	a, err := s.Reload()
+	if err != nil {
+		cur := s.art.Load()
+		resp := map[string]any{"error": err.Error()}
+		if cur != nil {
+			resp["generation"] = cur.Gen // still serving this one
+		}
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "generation": a.Gen})
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eyeballas/internal/astopo"
+	"eyeballas/internal/bgp"
+	"eyeballas/internal/core"
+	"eyeballas/internal/gazetteer"
+	"eyeballas/internal/geo"
+	"eyeballas/internal/ipnet"
+	"eyeballas/internal/obs"
+	"eyeballas/internal/p2p"
+	"eyeballas/internal/pipeline"
+	"eyeballas/internal/snapshot"
+)
+
+// testGaz is built once: gazetteer construction is the expensive part
+// of server setup and is world-independent.
+var testGaz = gazetteer.Default()
+
+// testArtifact builds a small snapshot file on disk: two ASes whose
+// samples sit on real gazetteer cities (so footprints resolve to PoPs)
+// plus a two-prefix origin table.
+func testArtifact(t testing.TB, dir string) (string, *snapshot.Snapshot) {
+	t.Helper()
+	milan := cityLoc(t, "IT", "Milan")
+	rome := cityLoc(t, "IT", "Rome")
+	sydney := cityLoc(t, "AU", "Sydney")
+
+	samplesA := make([]core.Sample, 0, 300)
+	for i := 0; i < 200; i++ {
+		samplesA = append(samplesA, sampleAt(milan, i, "Milan", "IT"))
+	}
+	for i := 0; i < 100; i++ {
+		samplesA = append(samplesA, sampleAt(rome, i, "Rome", "IT"))
+	}
+	recA := &pipeline.ASRecord{
+		ASN: 64500, Users: 300, Samples: samplesA,
+		PeersByApp:  map[p2p.App]int{p2p.Kad: 200, p2p.Gnutella: 100},
+		Class:       core.Classification{Level: astopo.LevelCountry, Place: "IT", Share: 1},
+		Region:      gazetteer.EU,
+		P90GeoErrKm: 18.5,
+	}
+	samplesB := make([]core.Sample, 0, 150)
+	for i := 0; i < 150; i++ {
+		samplesB = append(samplesB, sampleAt(sydney, i, "Sydney", "AU"))
+	}
+	recB := &pipeline.ASRecord{
+		ASN: 64501, Users: 150, Samples: samplesB,
+		PeersByApp:  map[p2p.App]int{p2p.BitTorrent: 150},
+		Class:       core.Classification{Level: astopo.LevelCity, Place: "Sydney/AU", Share: 1},
+		Region:      gazetteer.OC,
+		P90GeoErrKm: 9.25,
+	}
+	ds := &pipeline.Dataset{
+		ASes:         map[astopo.ASN]*pipeline.ASRecord{64500: recA, 64501: recB},
+		Order:        []astopo.ASN{64500, 64501},
+		TotalPeers:   450,
+		CrawledPeers: 500,
+		Funnel:       obs.NewFunnel("test"),
+	}
+	tbl := ipnet.NewTable[astopo.ASN]()
+	insertPrefix(t, tbl, "10.0.0.0/8", 64500)
+	insertPrefix(t, tbl, "172.16.0.0/12", 64501)
+	snap := &snapshot.Snapshot{
+		Meta:    snapshot.Meta{Seed: 1, Label: "serve-test"},
+		Dataset: ds,
+		Origins: bgp.NewOriginTableFromCompiled(tbl.Compile()),
+	}
+	path := dir + "/test.snap"
+	if err := snapshot.WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path, snap
+}
+
+func cityLoc(t testing.TB, country, name string) geo.Point {
+	t.Helper()
+	for _, c := range testGaz.InCountry(country) {
+		if c.Name == name {
+			return c.Loc
+		}
+	}
+	t.Fatalf("gazetteer has no %s/%s", name, country)
+	return geo.Point{}
+}
+
+// sampleAt jitters users deterministically around a city center.
+func sampleAt(center geo.Point, i int, city, country string) core.Sample {
+	return core.Sample{
+		Loc: geo.Point{
+			Lat: center.Lat + 0.02*float64(i%7) - 0.06,
+			Lon: center.Lon + 0.02*float64(i%5) - 0.04,
+		},
+		City: city, Country: country, GeoErrKm: float64(i % 30),
+	}
+}
+
+func insertPrefix(t testing.TB, tbl *ipnet.Table[astopo.ASN], cidr string, asn astopo.ASN) {
+	t.Helper()
+	p, err := ipnet.ParsePrefix(cidr)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%s): %v", cidr, err)
+	}
+	tbl.Insert(p, asn)
+}
+
+func newTestServer(t testing.TB, opts Options) (*Server, string, *snapshot.Snapshot) {
+	t.Helper()
+	path, snap := testArtifact(t, t.TempDir())
+	if opts.Gaz == nil {
+		opts.Gaz = testGaz
+	}
+	s := New(opts)
+	if _, err := s.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	return s, path, snap
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("response %q is not JSON: %v", rec.Body.String(), err)
+	}
+	return m
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	h := s.Handler()
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	m := decodeBody(t, rec)
+	if m["status"] != "ok" || m["ases"] != float64(2) || m["generation"] != float64(1) {
+		t.Errorf("healthz body: %v", m)
+	}
+
+	// No artifact yet → 503.
+	empty := New(Options{Gaz: testGaz})
+	rec = get(t, empty.Handler(), "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("empty server healthz: %d", rec.Code)
+	}
+}
+
+func TestASEndpoint(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	h := s.Handler()
+
+	rec := get(t, h, "/v1/as/64500")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("as: %d %s", rec.Code, rec.Body.String())
+	}
+	m := decodeBody(t, rec)
+	if m["asn"] != float64(64500) || m["users"] != float64(300) || m["region"] != "EU" {
+		t.Errorf("as body: %v", m)
+	}
+	class := m["class"].(map[string]any)
+	if class["level"] != "country" || class["place"] != "IT" {
+		t.Errorf("class: %v", class)
+	}
+	apps := m["peers_by_app"].(map[string]any)
+	if apps["kad"] != float64(200) || apps["gnutella"] != float64(100) {
+		t.Errorf("peers_by_app: %v", apps)
+	}
+
+	if rec := get(t, h, "/v1/as/99999"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown AS: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/as/banana"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ASN: %d", rec.Code)
+	}
+}
+
+func TestLookupEndpoint(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	h := s.Handler()
+
+	rec := get(t, h, "/v1/lookup?ip=10.1.2.3")
+	m := decodeBody(t, rec)
+	if rec.Code != http.StatusOK || m["asn"] != float64(64500) || m["matched"] != true || m["in_dataset"] != true {
+		t.Errorf("lookup 10.1.2.3: %d %v", rec.Code, m)
+	}
+	rec = get(t, h, "/v1/lookup?ip=8.8.8.8")
+	m = decodeBody(t, rec)
+	if rec.Code != http.StatusOK || m["matched"] != false {
+		t.Errorf("lookup miss: %d %v", rec.Code, m)
+	}
+	if rec := get(t, h, "/v1/lookup?ip=999.1.1.1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ip: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/lookup"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing ip: %d", rec.Code)
+	}
+}
+
+func TestFootprintEndpointAndCache(t *testing.T) {
+	reg := obs.New()
+	s, _, snap := newTestServer(t, Options{Obs: reg})
+	h := s.Handler()
+
+	rec := get(t, h, "/v1/footprint/64500")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("footprint: %d %s", rec.Code, rec.Body.String())
+	}
+	first := rec.Body.Bytes()
+
+	// Served bytes must equal RenderFootprint on the same record — the
+	// offline/online bit-identity the CI step checks end to end.
+	want, err := RenderFootprint(context.Background(), testGaz, snap.Dataset.AS(64500), 40, 1, nil)
+	if err != nil {
+		t.Fatalf("RenderFootprint: %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("served footprint differs from offline render:\n%s\nvs\n%s", first, want)
+	}
+
+	// Second hit: served from cache, byte-identical.
+	rec = get(t, h, "/v1/footprint/64500")
+	if !bytes.Equal(rec.Body.Bytes(), first) {
+		t.Fatal("cached footprint differs from first render")
+	}
+	if hits := reg.Counter("eyeball_serve_footprint_cache_total", "result", "hit").Value(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// A different bandwidth is a different cache key and different output.
+	rec = get(t, h, "/v1/footprint/64500?bw=80")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("footprint bw=80: %d", rec.Code)
+	}
+	if bytes.Equal(rec.Body.Bytes(), first) {
+		t.Error("bw=80 served the bw=40 bytes")
+	}
+	if rec := get(t, h, "/v1/footprint/64500?bw=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad bw: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/footprint/99999"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown AS: %d", rec.Code)
+	}
+}
+
+// TestFootprintConcurrentIdentical hammers one footprint from many
+// goroutines through cache misses and hits; every response must be
+// byte-identical (run under -race in CI).
+func TestFootprintConcurrentIdentical(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{CacheSize: 2})
+	h := s.Handler()
+	want := get(t, h, "/v1/footprint/64500").Body.Bytes()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				asn := 64500
+				if (g+k)%2 == 1 {
+					asn = 64501 // churn the 2-entry cache
+				}
+				req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/footprint/%d", asn), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: HTTP %d", g, rec.Code)
+					return
+				}
+				if asn == 64500 && !bytes.Equal(rec.Body.Bytes(), want) {
+					errs <- fmt.Errorf("goroutine %d: bytes diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	reg := obs.New()
+	s, _, _ := newTestServer(t, Options{MaxInflight: 1, Obs: reg})
+	h := s.Handler()
+
+	// Occupy the single slot directly (white box), then request.
+	s.sem <- struct{}{}
+	rec := get(t, h, "/v1/as/64500")
+	<-s.sem
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expected shed 503, got %d", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want 1", ra)
+	}
+	if n := reg.Counter("eyeball_serve_shed_total", "endpoint", "as").Value(); n != 1 {
+		t.Errorf("shed counter = %d, want 1", n)
+	}
+
+	// healthz is exempt from the limiter.
+	s.sem <- struct{}{}
+	rec = get(t, h, "/healthz")
+	<-s.sem
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz shed: %d", rec.Code)
+	}
+
+	// Slot free again → served.
+	if rec := get(t, h, "/v1/as/64500"); rec.Code != http.StatusOK {
+		t.Errorf("post-shed request: %d", rec.Code)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A 1ns deadline cancels the KDE render at its first block check.
+	s, _, _ := newTestServer(t, Options{Timeout: time.Nanosecond})
+	rec := get(t, s.Handler(), "/v1/footprint/64500")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expected 504, got %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHotReload(t *testing.T) {
+	reg := obs.New()
+	s, path, _ := newTestServer(t, Options{Obs: reg})
+	h := s.Handler()
+	if g := s.Artifact().Gen; g != 1 {
+		t.Fatalf("initial generation %d", g)
+	}
+
+	// Reload the same file: new generation, still serving.
+	req := httptest.NewRequest(http.MethodPost, "/-/reload", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rec.Code, rec.Body.String())
+	}
+	if m := decodeBody(t, rec); m["generation"] != float64(2) {
+		t.Errorf("reload body: %v", m)
+	}
+	if g := reg.Gauge("eyeball_serve_snapshot_generation").Value(); g != 2 {
+		t.Errorf("generation gauge = %v, want 2", g)
+	}
+
+	// Corrupt the file on disk: reload must fail with the snapshot's
+	// typed error and the old artifact must keep serving.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/-/reload", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload: %d %s", rec.Code, rec.Body.String())
+	}
+	m := decodeBody(t, rec)
+	if !strings.Contains(m["error"].(string), "snapshot:") {
+		t.Errorf("corrupt reload error not typed: %v", m["error"])
+	}
+	if m["generation"] != float64(2) {
+		t.Errorf("corrupt reload should report the still-serving generation, got %v", m["generation"])
+	}
+	if rec := get(t, h, "/v1/as/64500"); rec.Code != http.StatusOK {
+		t.Errorf("old artifact stopped serving after failed reload: %d", rec.Code)
+	}
+	if s.Artifact().Gen != 2 {
+		t.Errorf("generation advanced on failed reload: %d", s.Artifact().Gen)
+	}
+}
+
+func TestReloadInvalidatesFootprintCache(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	h := s.Handler()
+	before := get(t, h, "/v1/footprint/64500").Body.Bytes()
+	if _, err := s.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	// Same dataset, new generation: the cache key changed, so this is a
+	// fresh render — and being deterministic, it must still byte-match.
+	after := get(t, h, "/v1/footprint/64500").Body.Bytes()
+	if !bytes.Equal(before, after) {
+		t.Fatal("footprint changed across a reload of the same artifact")
+	}
+	if s.cache.len() != 2 {
+		t.Errorf("cache entries = %d, want 2 (one per generation)", s.cache.len())
+	}
+}
+
+func TestLRUCacheBounds(t *testing.T) {
+	c := newLRUCache(2)
+	k := func(i int) cacheKey { return cacheKey{gen: 1, asn: astopo.ASN(i), bw: math.Float64bits(40)} }
+	c.add(k(1), []byte("a"))
+	c.add(k(2), []byte("b"))
+	c.get(k(1)) // 1 is now most recent
+	c.add(k(3), []byte("c"))
+	if _, ok := c.get(k(2)); ok {
+		t.Error("LRU kept the least-recently-used entry")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Error("LRU evicted the recently-used entry")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// nil cache (disabled) is a no-op.
+	var nilCache *lruCache
+	nilCache.add(k(1), []byte("x"))
+	if _, ok := nilCache.get(k(1)); ok {
+		t.Error("nil cache returned a hit")
+	}
+}
+
+func TestRequestMetrics(t *testing.T) {
+	reg := obs.New()
+	s, _, _ := newTestServer(t, Options{Obs: reg})
+	h := s.Handler()
+	get(t, h, "/v1/as/64500")
+	get(t, h, "/v1/as/99999")
+	if n := reg.Counter("eyeball_serve_requests_total", "endpoint", "as", "code", "200").Value(); n != 1 {
+		t.Errorf("200 counter = %d", n)
+	}
+	if n := reg.Counter("eyeball_serve_requests_total", "endpoint", "as", "code", "404").Value(); n != 1 {
+		t.Errorf("404 counter = %d", n)
+	}
+}

@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot artifact")
+
+// TestGoldenBytes pins the exact v1 encoding: the synthetic test
+// snapshot must serialize to the committed testdata/golden.snap byte
+// for byte. A diff here means the wire format changed — which requires
+// a version bump, not a silent re-golden. Regenerate deliberately with
+//
+//	go test ./internal/snapshot -run TestGoldenBytes -update
+func TestGoldenBytes(t *testing.T) {
+	got := Encode(testSnapshot(t))
+	const path = "testdata/golden.snap"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("encoding diverged from golden artifact at byte %d (got %d bytes, want %d); "+
+			"a deliberate format change needs a version bump and -update", i, len(got), len(want))
+	}
+	// The golden artifact must also read back cleanly forever.
+	snap, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden artifact no longer decodes: %v", err)
+	}
+	assertSnapshotsIdentical(t, testSnapshot(t), snap)
+}

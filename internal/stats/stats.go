@@ -110,8 +110,12 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds an empirical CDF. The input slice is copied.
+// NewCDF builds an empirical CDF. The input slice is copied. It panics
+// if the sample contains a NaN: sort.Float64s places NaNs arbitrarily,
+// so a poisoned sample would silently skew every At/Quantile answer
+// instead of failing where the bad value entered (see checkNaN).
 func NewCDF(xs []float64) *CDF {
+	checkNaN("NewCDF", xs)
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)

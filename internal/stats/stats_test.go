@@ -346,6 +346,7 @@ func TestNaNDetection(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			mustPanic(t, "Percentile: NaN", func() { Percentile(tc.xs, 50) })
 			mustPanic(t, "Summarize: NaN", func() { Summarize(tc.xs) })
+			mustPanic(t, "NewCDF: NaN", func() { NewCDF(tc.xs) })
 		})
 	}
 }

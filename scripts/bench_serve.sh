@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_serve.sh — benchmark the eyeballserve hot paths and emit
+# BENCH_pr7.json: ns/op and B/op for the cached-footprint, origin-
+# lookup, and AS-record handlers (full HTTP dispatch through the
+# instrumented mux). The gate holds the cached-footprint path's
+# allocations flat: serving a cached render is a map hit plus a body
+# write and must stay under a fixed per-request byte budget — a
+# regression here means the steady-state serving cost started scaling
+# with something it shouldn't. Run single-core so the numbers isolate
+# the handler path.
+#
+# Usage: scripts/bench_serve.sh [output.json]
+#   BENCHTIME=0.3s scripts/bench_serve.sh     # quicker CI smoke
+set -eu
+out="${1:-BENCH_pr7.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'BenchmarkFootprintCached$|BenchmarkLookup$|BenchmarkASRecord$' \
+  -benchtime "$benchtime" ./internal/serve/ | tee "$tmp"
+
+# Cached-footprint byte budget per request: the response body itself is
+# a few KiB and httptest's recorder re-buffers it, so 64 KiB is loose
+# enough for noise while still catching an accidental re-render (the
+# KDE path allocates MiBs).
+budget=65536
+
+awk -v budget="$budget" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; bop[name] = $5; order[n++] = name
+  }
+  END {
+    if (n < 3) { print "benchmark output not parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"pr\": 7,\n"
+    printf "  \"gomaxprocs\": 1,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s }%s\n", \
+        order[i], ns[order[i]], bop[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    cached = bop["BenchmarkFootprintCached"]
+    printf "  \"gate\": { \"footprint_cached_bytes_per_op_max\": %d, \"footprint_cached_alloc_ok\": %s }\n", \
+      budget, (cached + 0 <= budget ? "true" : "false")
+    printf "}\n"
+  }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
+if ! grep -q '"footprint_cached_alloc_ok": true' "$out"; then
+  echo "cached footprint serving allocates past its per-request budget" >&2
+  exit 1
+fi
