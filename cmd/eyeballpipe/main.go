@@ -12,6 +12,7 @@
 //	            [-single-db] [-single-db-fallback]
 //	            [-stream] [-batch N] [-as-sample-cap N]
 //	            [-quiet] [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
+//	            [-trace-out build-trace.json]
 //
 // -snapshot writes the built dataset plus the compiled LPM origin table
 // as a versioned binary serving artifact for cmd/eyeballserve; -footprint
@@ -43,6 +44,7 @@ import (
 	"eyeballas/internal/parallel"
 	"eyeballas/internal/serve"
 	"eyeballas/internal/snapshot"
+	"eyeballas/internal/trace"
 )
 
 func main() {
@@ -77,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	footprintASN := fs.Int("footprint", 0, "render the PoP-level footprint of this AS as canonical JSON (same bytes eyeballserve's /v1/footprint returns)")
 	footprintOut := fs.String("footprint-out", "", "write the -footprint JSON to this file instead of stdout")
 	footprintBW := fs.Float64("footprint-bw", 40, "kernel bandwidth in km for -footprint")
+	traceOut := fs.String("trace-out", "", "write one offline build trace (stage spans with trace parentage, IDs derived from -seed) as canonical JSON to this file")
 	faultFlags := faults.BindCLIFlags(fs)
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -130,12 +133,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.SingleDBFallback = *singleDBFallback
 	cfg.BatchSize = *batch
 	cfg.MaxSamplesPerAS = *sampleCap
+	// -trace-out wraps the whole build in one request-style trace: the
+	// pipeline's stage spans pick up trace parentage from the context,
+	// so an offline build emits the same trace shape a served request
+	// does. IDs derive from -seed, making the trace's identity — though
+	// not its timings — reproducible.
+	var troot *trace.Span
+	if *traceOut != "" {
+		tracer := trace.New(trace.Options{Seed: *seed})
+		troot = tracer.Start("eyeballpipe.build")
+		troot.SetInt("seed", int64(*seed))
+		ctx = trace.NewContext(ctx, troot)
+	}
 	var ds *eyeball.Dataset
 	var origins *eyeball.OriginTable
 	if *stream {
 		ds, origins, err = eyeball.BuildTargetDatasetStreamExportCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
 	} else {
 		ds, origins, err = eyeball.BuildTargetDatasetExportCtx(ctx, w, eyeball.DefaultCrawlConfig(), cfg, *seed)
+	}
+	if troot != nil {
+		troot.End()
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := trace.WriteJSON(f, troot); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(stderr, "wrote build trace (%d spans) to %s\n", troot.SpanCount(), *traceOut)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// traceDetail mirrors trace.Detail's JSON envelope closely enough to
+// assert on -trace-out output without importing internal packages.
+type traceDetail struct {
+	TraceID     string    `json:"trace_id"`
+	Traceparent string    `json:"traceparent"`
+	DurationNS  int64     `json:"duration_ns"`
+	Spans       int       `json:"spans"`
+	Root        traceNode `json:"root"`
+}
+
+type traceNode struct {
+	Name     string      `json:"name"`
+	Children []traceNode `json:"children"`
+}
+
+// TestTraceOut: one offline build emits a parseable canonical trace —
+// the eyeballpipe.build root over pipeline.run with crawl, origin-table,
+// and build stages — and the trace ID derives from -seed.
+func TestTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "build-trace.json")
+	var stderr bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-small", "-seed", "5", "-trace-out", out},
+		io.Discard, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d traceDetail
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v\n%s", err, raw)
+	}
+	if d.Root.Name != "eyeballpipe.build" {
+		t.Errorf("root span = %q, want eyeballpipe.build", d.Root.Name)
+	}
+	if len(d.TraceID) != 32 {
+		t.Errorf("trace_id = %q, want 32 hex digits", d.TraceID)
+	}
+	if !strings.Contains(d.Traceparent, d.TraceID) {
+		t.Errorf("traceparent %q does not embed trace_id %q", d.Traceparent, d.TraceID)
+	}
+	if d.Spans < 5 {
+		t.Errorf("spans = %d, want the stage tree (>= 5)", d.Spans)
+	}
+	if d.DurationNS <= 0 {
+		t.Errorf("duration_ns = %d, want positive", d.DurationNS)
+	}
+	if len(d.Root.Children) != 1 || d.Root.Children[0].Name != "pipeline.run" {
+		t.Fatalf("root children = %+v, want one pipeline.run", d.Root.Children)
+	}
+	var stages []string
+	for _, c := range d.Root.Children[0].Children {
+		stages = append(stages, c.Name)
+	}
+	joined := strings.Join(stages, ",")
+	for _, want := range []string{"crawl", "bgp.origin_table", "pipeline.build"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("pipeline.run stages %v lack %q", stages, want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "wrote build trace") {
+		t.Errorf("stderr lacks trace summary: %q", stderr.String())
+	}
+
+	// Same seed, second run: the trace's identity (IDs and shape,
+	// not timings) reproduces.
+	out2 := filepath.Join(t.TempDir(), "build-trace-2.json")
+	if err := run(context.Background(),
+		[]string{"-small", "-seed", "5", "-trace-out", out2},
+		io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2 traceDetail
+	if err := json.Unmarshal(raw2, &d2); err != nil {
+		t.Fatal(err)
+	}
+	if d2.TraceID != d.TraceID {
+		t.Errorf("seeded trace IDs differ across runs: %s vs %s", d.TraceID, d2.TraceID)
+	}
+	if d2.Spans != d.Spans {
+		t.Errorf("span counts differ across runs: %d vs %d", d.Spans, d2.Spans)
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"eyeballas/internal/serve"
+	"eyeballas/internal/snapshot"
+)
+
+func TestRunRejectsBadLogFormat(t *testing.T) {
+	path := writeTestSnapshot(t)
+	var out, errOut bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-snap", path, "-log-format", "yaml", "-print-footprint", "64500"},
+		&out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), `must be json or text, got "yaml"`) {
+		t.Fatalf("err = %v, want log-format rejection", err)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := newLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("probe", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler emitted non-JSON %q: %v", buf.String(), err)
+	}
+	buf.Reset()
+	logger, err = newLogger("text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("probe", "k", "v")
+	if !strings.Contains(buf.String(), "msg=probe") {
+		t.Fatalf("text handler output %q lacks msg=probe", buf.String())
+	}
+}
+
+// TestReloadFailureLogShape pins the exact failure line operators alert
+// on: level=ERROR, msg="reload failed", the generation still serving,
+// and the snapshot error string. Drift here breaks alerting rules.
+func TestReloadFailureLogShape(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := newLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := &serve.Artifact{Gen: 3}
+	logReload(logger, nil, cur, errors.New("snapshot: bad magic"))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if rec["level"] != "ERROR" {
+		t.Errorf("level = %v, want ERROR", rec["level"])
+	}
+	if rec["msg"] != "reload failed" {
+		t.Errorf("msg = %v, want reload failed", rec["msg"])
+	}
+	if rec["generation"] != float64(3) {
+		t.Errorf("generation = %v, want 3 (the artifact still serving)", rec["generation"])
+	}
+	if rec["error"] != "snapshot: bad magic" {
+		t.Errorf("error = %v, want the snapshot error", rec["error"])
+	}
+}
+
+// TestReloadSuccessLogShape covers the happy sibling so the two shapes
+// stay distinguishable by msg alone.
+func TestReloadSuccessLogShape(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := newLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTestSnapshot(t)
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := &serve.Artifact{Path: path, Gen: 4, Snap: snap}
+	logReload(logger, art, art, nil)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "reloaded" || rec["level"] != "INFO" {
+		t.Errorf("got level=%v msg=%v, want INFO reloaded", rec["level"], rec["msg"])
+	}
+	if rec["generation"] != float64(4) || rec["ases"] != float64(1) {
+		t.Errorf("generation=%v ases=%v, want 4 and 1", rec["generation"], rec["ases"])
+	}
+}

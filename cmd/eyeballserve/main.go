@@ -6,7 +6,9 @@
 //
 //	eyeballserve -snap dataset.snap [-addr :8080] [-timeout 5s]
 //	             [-max-inflight N] [-cache N] [-bw KM] [-workers N]
-//	             [-print-footprint ASN]
+//	             [-print-footprint ASN] [-log-format json|text]
+//	             [-tracing=false] [-trace-recent N] [-trace-slow D]
+//	             [-trace-seed N]
 //	             [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 //
 // Endpoints:
@@ -16,6 +18,16 @@
 //	GET  /v1/lookup?ip=a.b.c.d origin AS of an address
 //	GET  /v1/footprint/{asn}   PoP-level footprint (?bw= overrides km)
 //	POST /-/reload             hot-swap to the re-read artifact file
+//	GET  /debug/requests       flight recorder: recent request traces
+//	GET  /debug/requests/slow  flight recorder: slow captures
+//	GET  /debug/trace/{id}     one full request trace as JSON
+//	GET  /metrics              Prometheus exposition (with -metrics/-trace/-pprof)
+//
+// All operational output — startup, reload results, and the per-request
+// access log — flows through one structured slog stream on stderr
+// (JSON by default; -log-format text for humans). Request tracing is on
+// by default and adds nothing to response bytes; -tracing=false
+// disables it entirely.
 //
 // SIGHUP reloads the snapshot file in place, exactly like POST
 // /-/reload: the new artifact is parsed and fully validated before the
@@ -35,7 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,16 +57,52 @@ import (
 
 	"eyeballas/internal/obs"
 	"eyeballas/internal/serve"
+	"eyeballas/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("eyeballserve: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		log.Fatal(err)
+		// The flag-configured logger lives inside run; a startup
+		// failure is reported on the same stream in the default shape.
+		slog.New(slog.NewJSONHandler(os.Stderr, nil)).Error("eyeballserve failed", "error", err.Error())
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the process-wide structured logger: one handler for
+// startup, reload, and access-log lines, so the whole operational
+// story is a single greppable stream.
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("-log-format must be json or text, got %q", format)
+}
+
+// logReload emits the result of one reload attempt. The failure shape
+// (level=ERROR, msg="reload failed", generation=<still serving>,
+// error=<typed snapshot error>) is pinned by TestReloadFailureLogShape
+// — operators alert on it, so it must not drift.
+func logReload(logger *slog.Logger, art *serve.Artifact, cur *serve.Artifact, err error) {
+	if err != nil {
+		gen := uint64(0)
+		if cur != nil {
+			gen = cur.Gen
+		}
+		logger.LogAttrs(context.Background(), slog.LevelError, "reload failed",
+			slog.Uint64("generation", gen),
+			slog.String("error", err.Error()))
+		return
+	}
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "reloaded",
+		slog.String("path", art.Path),
+		slog.Uint64("generation", art.Gen),
+		slog.Int("ases", len(art.Snap.Dataset.Order)))
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -68,6 +116,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	bw := fs.Float64("bw", 40, "default footprint kernel bandwidth in km (per-request ?bw= overrides)")
 	workers := fs.Int("workers", 1, "KDE workers per footprint render")
 	printFootprint := fs.Int("print-footprint", 0, "render this AS's footprint JSON to stdout and exit (no server)")
+	logFormat := fs.String("log-format", "json", "structured log encoding: json or text")
+	tracing := fs.Bool("tracing", true, "record request-scoped traces (flight recorder + /debug endpoints)")
+	traceRecent := fs.Int("trace-recent", 128, "flight recorder capacity: last N completed request traces")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "slow-capture threshold; requests at or above it enter the slow ring")
+	traceSeed := fs.Uint64("trace-seed", 0, "trace-ID seed: nonzero makes IDs deterministic (tests/CI), 0 draws random IDs")
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +128,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *snapPath == "" {
 		return errors.New("-snap is required")
 	}
+	logger, err := newLogger(*logFormat, stderr)
+	if err != nil {
+		return err
+	}
 	reg := obsFlags.Registry()
 	if err := obsFlags.Start(stderr); err != nil {
 		return err
 	}
 	defer obsFlags.Finish(stdout, stderr)
+
+	var tracer *trace.Tracer
+	if *tracing {
+		tracer = trace.New(trace.Options{
+			Seed: *traceSeed,
+			Recorder: trace.NewRecorder(trace.RecorderOptions{
+				Recent:        *traceRecent,
+				SlowThreshold: *traceSlow,
+			}),
+		})
+	}
 
 	srv := serve.New(serve.Options{
 		Timeout:     *timeout,
@@ -88,14 +156,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		BandwidthKm: *bw,
 		Workers:     *workers,
 		Obs:         reg,
+		Tracer:      tracer,
+		AccessLog:   logger,
 	})
 	art, err := srv.LoadFile(*snapPath)
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", *snapPath, err)
 	}
 	ds := art.Snap.Dataset
-	fmt.Fprintf(stderr, "loaded %s: %d ASes, %d peers (seed %d, label %q)\n",
-		*snapPath, len(ds.Order), ds.TotalPeers, art.Snap.Meta.Seed, art.Snap.Meta.Label)
+	logger.LogAttrs(ctx, slog.LevelInfo, "loaded snapshot",
+		slog.String("path", *snapPath),
+		slog.Int("ases", len(ds.Order)),
+		slog.Int("peers", ds.TotalPeers),
+		slog.Uint64("seed", art.Snap.Meta.Seed),
+		slog.String("label", art.Snap.Meta.Label))
 
 	if *printFootprint != 0 {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
@@ -131,17 +205,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			case <-ctx.Done():
 				return
 			case <-hup:
-				if a, err := srv.Reload(); err != nil {
-					fmt.Fprintf(stderr, "reload failed, keeping generation %d: %v\n", srv.Artifact().Gen, err)
-				} else {
-					fmt.Fprintf(stderr, "reloaded %s: generation %d, %d ASes\n",
-						a.Path, a.Gen, len(a.Snap.Dataset.Order))
-				}
+				a, err := srv.Reload()
+				logReload(logger, a, srv.Artifact(), err)
 			}
 		}
 	}()
 
-	fmt.Fprintf(stderr, "listening on http://%s\n", ln.Addr())
+	logger.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("url", "http://"+ln.Addr().String()))
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	select {

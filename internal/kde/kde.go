@@ -19,6 +19,7 @@ import (
 	"eyeballas/internal/grid"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/parallel"
+	"eyeballas/internal/trace"
 )
 
 // Options configure an estimation run.
@@ -95,6 +96,12 @@ func Estimate(ctx context.Context, samples []geo.XY, opts Options) (*grid.Grid, 
 	}
 	span := o.Obs.StartSpan("kde.estimate")
 	defer span.End()
+	// When the caller's context carries a request trace (the serve
+	// footprint path), mirror the estimate under it so one request's
+	// trace reaches down to individual convolution blocks. tspan is nil
+	// otherwise and every use below is a branch-only no-op.
+	tspan := trace.FromContext(ctx).Child("kde.estimate")
+	defer tspan.End()
 	minX, minY := samples[0].X, samples[0].Y
 	maxX, maxY := minX, minY
 	for _, s := range samples[1:] {
@@ -113,6 +120,8 @@ func Estimate(ctx context.Context, samples []geo.XY, opts Options) (*grid.Grid, 
 		return nil, fmt.Errorf("kde: domain needs %d cells (cap %d); increase CellKm", w*h, o.MaxCells)
 	}
 	g := grid.New(minX, minY, o.CellKm, w, h)
+	tspan.SetInt("samples", int64(len(samples)))
+	tspan.SetInt("cells", int64(w*h))
 	if o.Obs != nil {
 		o.Obs.Counter("eyeball_kde_estimates_total").Inc()
 		o.Obs.Counter("eyeball_kde_samples_total").Add(int64(len(samples)))
@@ -121,6 +130,7 @@ func Estimate(ctx context.Context, samples []geo.XY, opts Options) (*grid.Grid, 
 
 	// Bin samples.
 	binSpan := span.Child("bin")
+	tBin := tspan.Child("bin")
 	for _, s := range samples {
 		i, j, ok := g.CellOf(s)
 		if !ok {
@@ -132,8 +142,9 @@ func Estimate(ctx context.Context, samples []geo.XY, opts Options) (*grid.Grid, 
 		g.Add(i, j, 1)
 	}
 	binSpan.End()
+	tBin.End()
 
-	if err := blurSeparable(ctx, g, o.BandwidthKm, o.TruncSigma, o.Workers, span); err != nil {
+	if err := blurSeparable(ctx, g, o.BandwidthKm, o.TruncSigma, o.Workers, span, tspan); err != nil {
 		return nil, err
 	}
 
@@ -164,10 +175,13 @@ func clamp(v, lo, hi int) int {
 // decomposition is a fixed function of the grid dimensions, so the result
 // is byte-identical for every worker count — including workers == 1,
 // which runs inline with zero synchronization. parent (nil when
-// disabled) receives one child span per pass. A cancelled ctx stops the
-// fan-out at a block boundary and surfaces ctx.Err(); the grid is then
-// partially blurred and must be discarded by the caller.
-func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma float64, workers int, parent *obs.Span) error {
+// disabled) receives one child span per pass; tparent (nil when request
+// tracing is off) additionally receives one span per convolution block,
+// keyed by the block's low index so the rendered trace is deterministic
+// regardless of worker scheduling. A cancelled ctx stops the fan-out at
+// a block boundary and surfaces ctx.Err(); the grid is then partially
+// blurred and must be discarded by the caller.
+func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma float64, workers int, parent *obs.Span, tparent *trace.Span) error {
 	radius := int(math.Ceil(truncSigma * bandwidthKm / g.Cell))
 	kernel := make([]float64, 2*radius+1)
 	sum := 0.0
@@ -184,15 +198,27 @@ func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma fl
 	// Horizontal pass: each row of g.Data convolves into the same row of
 	// tmp; rows in a block are processed in order, blocks never overlap.
 	hSpan := parent.Child("blur_horizontal")
+	tH := tparent.Child("blur_horizontal")
 	err := parallel.Blocks(ctx, workers, g.H, 0, func(lo, hi int) error {
+		// Per-block trace spans are created and attributed by this
+		// worker goroutine (the package's ownership contract); ChildSeq
+		// keys them by lo so sibling order is schedule-independent.
+		var bs *trace.Span
+		if tH != nil {
+			bs = tH.ChildSeq("rows", lo)
+			bs.SetInt("lo", int64(lo))
+			bs.SetInt("hi", int64(hi))
+		}
 		for j := lo; j < hi; j++ {
 			row := g.Data[j*g.W : (j+1)*g.W]
 			out := tmp[j*g.W : (j+1)*g.W]
 			convolveRow(out, row, kernel, radius)
 		}
+		bs.End()
 		return nil
 	})
 	hSpan.End()
+	tH.End()
 	if err != nil {
 		return err
 	}
@@ -200,7 +226,14 @@ func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma fl
 	// block owns a contiguous span of columns and its own scratch
 	// buffers; writes target disjoint strided cells.
 	vSpan := parent.Child("blur_vertical")
+	tV := tparent.Child("blur_vertical")
 	err = parallel.Blocks(ctx, workers, g.W, 0, func(lo, hi int) error {
+		var bs *trace.Span
+		if tV != nil {
+			bs = tV.ChildSeq("cols", lo)
+			bs.SetInt("lo", int64(lo))
+			bs.SetInt("hi", int64(hi))
+		}
 		col := make([]float64, g.H)
 		outCol := make([]float64, g.H)
 		for i := lo; i < hi; i++ {
@@ -212,9 +245,11 @@ func blurSeparable(ctx context.Context, g *grid.Grid, bandwidthKm, truncSigma fl
 				g.Data[j*g.W+i] = outCol[j]
 			}
 		}
+		bs.End()
 		return nil
 	})
 	vSpan.End()
+	tV.End()
 	return err
 }
 

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeExemplar is a test stand-in for *trace.Span.
+type fakeExemplar struct {
+	id string
+	v  float64
+}
+
+func (f *fakeExemplar) ExemplarTraceID() string { return f.id }
+func (f *fakeExemplar) ExemplarValue() float64  { return f.v }
+
+func TestObserveExemplarCountsLikeObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("e_test", []float64{1, 10})
+	h.ObserveExemplar(0.5, &fakeExemplar{id: "aa", v: 0.5})
+	h.ObserveExemplar(5, nil) // nil exemplar = plain Observe
+	h.Observe(100)
+	if h.Count() != 3 || h.Sum() != 105.5 {
+		t.Fatalf("count=%d sum=%v, want 3/105.5", h.Count(), h.Sum())
+	}
+	if h.BucketCount(0) != 1 || h.BucketCount(1) != 1 || h.BucketCount(2) != 1 {
+		t.Fatal("bucket routing differs between Observe and ObserveExemplar")
+	}
+	if ex := h.BucketExemplar(0); ex == nil || ex.ExemplarTraceID() != "aa" {
+		t.Fatalf("bucket 0 exemplar = %v", ex)
+	}
+	if h.BucketExemplar(1) != nil {
+		t.Fatal("nil exemplar observation attached an exemplar")
+	}
+	if h.BucketExemplar(-1) != nil || h.BucketExemplar(99) != nil {
+		t.Fatal("out-of-range BucketExemplar not nil")
+	}
+}
+
+func TestExemplarLastWriterWins(t *testing.T) {
+	r := New()
+	h := r.Histogram("e_test", []float64{1})
+	h.ObserveExemplar(0.5, &fakeExemplar{id: "old", v: 0.5})
+	h.ObserveExemplar(0.7, &fakeExemplar{id: "new", v: 0.7})
+	if got := h.BucketExemplar(0).ExemplarTraceID(); got != "new" {
+		t.Fatalf("bucket exemplar = %q, want the newest", got)
+	}
+}
+
+func TestPrometheusExemplarSuffix(t *testing.T) {
+	r := New()
+	h := r.Histogram("e_latency", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, &fakeExemplar{id: "0af7651916cd43dd8448eb211c80319c", v: 0.05})
+	h.Observe(0.5)  // no exemplar on this bucket
+	h.Observe(42.0) // +Inf bucket, no exemplar
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `e_latency_bucket{le="0.1"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// Buckets without exemplars keep the pre-exemplar format exactly.
+	for _, plain := range []string{
+		`e_latency_bucket{le="1"} 2` + "\n",
+		`e_latency_bucket{le="+Inf"} 3` + "\n",
+	} {
+		if !strings.Contains(out, plain) {
+			t.Fatalf("exposition missing plain bucket %q:\n%s", plain, out)
+		}
+	}
+}
+
+func TestJSONExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("e_latency", []float64{0.1})
+	h.ObserveExemplar(0.05, &fakeExemplar{id: "deadbeef", v: 0.05})
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			Buckets []struct {
+				LE       string `json:"le"`
+				Count    int64  `json:"count"`
+				Exemplar *struct {
+					TraceID string  `json:"trace_id"`
+					Value   float64 `json:"value"`
+				} `json:"exemplar"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	bk := doc.Histograms["e_latency"].Buckets
+	if len(bk) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(bk))
+	}
+	if bk[0].Exemplar == nil || bk[0].Exemplar.TraceID != "deadbeef" || bk[0].Exemplar.Value != 0.05 {
+		t.Fatalf("bucket 0 exemplar = %+v", bk[0].Exemplar)
+	}
+	if bk[1].Exemplar != nil {
+		t.Fatal("empty bucket grew an exemplar in JSON")
+	}
+}
+
+// TestExpositionsUnchangedWithoutExemplars proves a histogram fed via
+// ObserveExemplar with nil sources renders byte-identically to one fed
+// via Observe — so the feature's existence costs nothing in output
+// until a real exemplar arrives (and the PR 3/7 golden files stay
+// valid).
+func TestExpositionsUnchangedWithoutExemplars(t *testing.T) {
+	build := func(withExemplarCalls bool) *Registry {
+		r := New()
+		h := r.Histogram("e_test", []float64{1, 10})
+		for _, v := range []float64{0.5, 5, 100} {
+			if withExemplarCalls {
+				h.ObserveExemplar(v, nil)
+			} else {
+				h.Observe(v)
+			}
+		}
+		return r
+	}
+	var plain, viaExemplar bytes.Buffer
+	if err := build(false).WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WritePrometheus(&viaExemplar); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), viaExemplar.Bytes()) {
+		t.Fatal("Prometheus exposition changed with exemplar-free ObserveExemplar")
+	}
+	plain.Reset()
+	viaExemplar.Reset()
+	if err := build(false).WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WriteJSON(&viaExemplar); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), viaExemplar.Bytes()) {
+		t.Fatal("JSON snapshot changed with exemplar-free ObserveExemplar")
+	}
+}
+
+func TestNilHistogramExemplarOps(t *testing.T) {
+	var h *Histogram
+	h.ObserveExemplar(1, &fakeExemplar{id: "x", v: 1}) // must not panic
+	if h.BucketExemplar(0) != nil {
+		t.Fatal("nil histogram returned an exemplar")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.ObserveExemplar(1, nil)
+		h.BucketExemplar(0)
+	}); n != 0 {
+		t.Fatalf("nil histogram exemplar ops allocate %.1f/op, want 0", n)
+	}
+}

@@ -44,6 +44,16 @@ type HistSeries struct {
 	Counts []int64   // len(Bounds)+1, non-cumulative; last is +Inf
 	Sum    float64
 	Total  int64
+	// Exemplars holds one entry per bucket (len(Counts)), nil where the
+	// bucket has never carried an exemplar.
+	Exemplars []*ExemplarSnapshot
+}
+
+// ExemplarSnapshot is the materialized form of a bucket's
+// ExemplarSource at snapshot time.
+type ExemplarSnapshot struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // FunnelSnapshot mirrors one funnel.
@@ -121,8 +131,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range hists {
 		hs := HistSeries{Name: h.name, Labels: h.labels, Sum: h.Sum(), Total: h.Count()}
 		hs.Bounds = append(hs.Bounds, h.bounds...)
+		hasExemplar := false
 		for i := range h.counts {
 			hs.Counts = append(hs.Counts, h.counts[i].Load())
+			var es *ExemplarSnapshot
+			if ex := h.BucketExemplar(i); ex != nil {
+				es = &ExemplarSnapshot{TraceID: ex.ExemplarTraceID(), Value: ex.ExemplarValue()}
+				hasExemplar = true
+			}
+			hs.Exemplars = append(hs.Exemplars, es)
+		}
+		if !hasExemplar {
+			hs.Exemplars = nil
 		}
 		snap.Histograms = append(snap.Histograms, hs)
 	}
@@ -217,10 +237,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, mergeLE(h.Labels, formatFloat(bound)), cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", h.Name, mergeLE(h.Labels, formatFloat(bound)), cum, h.exemplarSuffix(i))
 		}
 		cum += h.Counts[len(h.Counts)-1]
-		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, mergeLE(h.Labels, "+Inf"), cum)
+		fmt.Fprintf(&b, "%s_bucket%s %d%s\n", h.Name, mergeLE(h.Labels, "+Inf"), cum, h.exemplarSuffix(len(h.Counts)-1))
 		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, h.Labels, formatFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, h.Labels, h.Total)
 	}
@@ -253,6 +273,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// exemplarSuffix renders bucket i's OpenMetrics exemplar —
+// ` # {trace_id="…"} value` — or "" when the bucket has none, so
+// expositions without exemplars are byte-identical to earlier releases.
+func (h HistSeries) exemplarSuffix(i int) string {
+	if i < 0 || i >= len(h.Exemplars) || h.Exemplars[i] == nil {
+		return ""
+	}
+	ex := h.Exemplars[i]
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatFloat(ex.Value))
+}
+
 // mergeLE splices le="bound" into a rendered label set.
 func mergeLE(labels, le string) string {
 	if labels == "" {
@@ -271,8 +302,9 @@ type jsonHistogram struct {
 }
 
 type jsonBucket struct {
-	LE    string `json:"le"`
-	Count int64  `json:"count"` // non-cumulative
+	LE       string            `json:"le"`
+	Count    int64             `json:"count"` // non-cumulative
+	Exemplar *ExemplarSnapshot `json:"exemplar,omitempty"`
 }
 
 type jsonSnapshot struct {
@@ -310,10 +342,16 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		out.Histograms = make(map[string]jsonHistogram, len(s.Histograms))
 		for _, h := range s.Histograms {
 			jh := jsonHistogram{Sum: h.Sum, Count: h.Total}
-			for i, bound := range h.Bounds {
-				jh.Buckets = append(jh.Buckets, jsonBucket{LE: formatFloat(bound), Count: h.Counts[i]})
+			exemplarAt := func(i int) *ExemplarSnapshot {
+				if i < len(h.Exemplars) {
+					return h.Exemplars[i]
+				}
+				return nil
 			}
-			jh.Buckets = append(jh.Buckets, jsonBucket{LE: "+Inf", Count: h.Counts[len(h.Counts)-1]})
+			for i, bound := range h.Bounds {
+				jh.Buckets = append(jh.Buckets, jsonBucket{LE: formatFloat(bound), Count: h.Counts[i], Exemplar: exemplarAt(i)})
+			}
+			jh.Buckets = append(jh.Buckets, jsonBucket{LE: "+Inf", Count: h.Counts[len(h.Counts)-1], Exemplar: exemplarAt(len(h.Counts) - 1)})
 			out.Histograms[h.Name+h.Labels] = jh
 		}
 	}

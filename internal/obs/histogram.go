@@ -22,17 +22,48 @@ type Histogram struct {
 	counts  []atomic.Int64
 	total   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars[i] holds the most recent ExemplarSource observed into
+	// bucket i, or a nil-valued atomic before the first one.
+	exemplars []atomic.Value
+}
+
+// ExemplarSource is a reference an observation can attach to the bucket
+// it lands in — typically the request trace whose latency was observed,
+// so an operator can jump from a latency bucket straight to the exact
+// request that landed there. Storing the source is a single atomic
+// pointer write (no allocation on the hot path); the hex ID and value
+// are only materialized at exposition time.
+//
+// Contract: ExemplarValue must return the value that was observed, and
+// every source observed into one histogram must share one concrete type
+// (atomic.Value requires it; in practice this is always *trace.Span).
+type ExemplarSource interface {
+	// ExemplarTraceID returns the hex trace ID the exemplar points at.
+	ExemplarTraceID() string
+	// ExemplarValue returns the observed value the exemplar represents.
+	ExemplarValue() float64
 }
 
 func newHistogram(name, labels string, bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
 	return &Histogram{
-		name:   name,
-		labels: labels,
-		bounds: bs,
-		counts: make([]atomic.Int64, len(bs)+1),
+		name:      name,
+		labels:    labels,
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Value, len(bs)+1),
 	}
+}
+
+// bucketOf returns the index of the first bucket whose upper bound
+// admits v; len(bounds) addresses the implicit +Inf bucket.
+func (h *Histogram) bucketOf(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value. No-op on a nil receiver.
@@ -40,11 +71,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.observe(h.bucketOf(v), v)
+}
+
+func (h *Histogram) observe(bucket int, v float64) {
+	h.counts[bucket].Add(1)
 	h.total.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -53,6 +84,29 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches ex as the bucket's
+// exemplar (last writer wins). A nil ex is equivalent to Observe; a nil
+// receiver is a no-op.
+func (h *Histogram) ObserveExemplar(v float64, ex ExemplarSource) {
+	if h == nil {
+		return
+	}
+	i := h.bucketOf(v)
+	h.observe(i, v)
+	if ex != nil {
+		h.exemplars[i].Store(ex)
+	}
+}
+
+// BucketExemplar returns the current exemplar of bucket i, or nil.
+func (h *Histogram) BucketExemplar(i int) ExemplarSource {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	ex, _ := h.exemplars[i].Load().(ExemplarSource)
+	return ex
 }
 
 // ObserveDuration records a duration in seconds.

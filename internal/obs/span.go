@@ -105,46 +105,58 @@ func (s *Span) children() []*Span {
 	return out
 }
 
-// WriteTrace renders the span forest as an indented tree with durations
-// — the CLIs' -trace output. Durations are timing observations and vary
-// run to run; the tree *shape* is deterministic for serial
-// orchestration code and creation-ordered within a parent.
-func (r *Registry) WriteTrace(w io.Writer) error {
+// Tree converts the span subtree into the shared TreeNode form — the
+// single encoding surface (WriteTree / WriteTreeJSON) the CLIs' -trace
+// output and internal/trace's flight recorder both render through.
+// Returns the zero TreeNode on a nil receiver.
+func (s *Span) Tree() TreeNode {
+	if s == nil {
+		return TreeNode{}
+	}
+	n := TreeNode{Name: s.name, DurNS: -1}
+	if d, ok := s.Duration(); ok {
+		n.DurNS = int64(d)
+	}
+	for _, c := range s.children() {
+		n.Children = append(n.Children, c.Tree())
+	}
+	return n
+}
+
+// TraceTree snapshots the registry's retained root spans as a TreeNode
+// forest, in creation order.
+func (r *Registry) TraceTree() []TreeNode {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	roots := make([]*Span, len(r.spans))
 	copy(roots, r.spans)
+	r.mu.Unlock()
+	out := make([]TreeNode, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.Tree())
+	}
+	return out
+}
+
+// WriteTrace renders the span forest as an indented tree with durations
+// — the CLIs' -trace output, encoded by the shared WriteTree. Durations
+// are timing observations and vary run to run; the tree *shape* is
+// deterministic for serial orchestration code and creation-ordered
+// within a parent.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
 	dropped := r.dropped
 	r.mu.Unlock()
-	for _, s := range roots {
-		if err := writeSpan(w, s, 0); err != nil {
-			return err
-		}
+	if err := WriteTree(w, r.TraceTree()); err != nil {
+		return err
 	}
 	if dropped > 0 {
 		if _, err := fmt.Fprintf(w, "... %d more root spans not retained (cap %d)\n", dropped, maxRootSpans); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeSpan(w io.Writer, s *Span, depth int) error {
-	dur := "(open)"
-	if d, ok := s.Duration(); ok {
-		dur = d.Round(time.Microsecond).String()
-	}
-	pad := 32 - 2*depth - len(s.name)
-	if pad < 1 {
-		pad = 1
-	}
-	if _, err := fmt.Fprintf(w, "%*s%s%*s%s\n", 2*depth, "", s.name, pad, "", dur); err != nil {
-		return err
-	}
-	for _, c := range s.children() {
-		if err := writeSpan(w, c, depth+1); err != nil {
 			return err
 		}
 	}

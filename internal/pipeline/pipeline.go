@@ -55,6 +55,7 @@ import (
 	"eyeballas/internal/parallel"
 	"eyeballas/internal/rng"
 	"eyeballas/internal/stats"
+	"eyeballas/internal/trace"
 )
 
 // seedSource derives the crawl's RNG stream from a seed.
@@ -792,17 +793,28 @@ func RunExport(ctx context.Context, w *astopo.World, crawlCfg p2p.Config, cfg Co
 	}
 	span := cfg.Obs.StartSpan("pipeline.run")
 	defer span.End()
+	// When ctx carries a request trace, nest the whole run (and, via
+	// the rebound context, the build's stage spans) under it.
+	tRun := trace.FromContext(ctx).Child("pipeline.run")
+	defer tRun.End()
+	if tRun != nil {
+		ctx = trace.NewContext(ctx, tRun)
+	}
 	if crawlCfg.Obs == nil {
 		crawlCfg.Obs = cfg.Obs
 	}
 	if crawlCfg.Faults == nil {
 		crawlCfg.Faults = cfg.Faults
 	}
+	tCrawl := tRun.Child("crawl")
 	crawl, err := p2p.Run(ctx, w, crawlCfg, seedSource(crawlSeed))
+	tCrawl.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	tOrigin := tRun.Child("bgp.origin_table")
 	origins, err := originTable(ctx, w, cfg, span)
+	tOrigin.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/parallel"
 	"eyeballas/internal/stats"
+	"eyeballas/internal/trace"
 )
 
 // BuildStream runs steps 2–4 of the methodology over a peer stream —
@@ -52,6 +53,11 @@ func BuildStream(ctx context.Context, src p2p.PeerSource, dbA, dbB *geodb.DB, or
 	}
 	span := cfg.Obs.StartSpan("pipeline.build")
 	defer span.End()
+	// Mirror the build's stage spans under a request trace when the
+	// context carries one (eyeballpipe -trace-out, or a future online
+	// rebuild); nil otherwise, making every use a branch-only no-op.
+	tb := trace.FromContext(ctx).Child("pipeline.build")
+	defer tb.End()
 
 	// Fault wiring: identical to the batch path — injection sites key
 	// on peer identity, so batching cannot move a decision.
@@ -83,7 +89,10 @@ func BuildStream(ctx context.Context, src p2p.PeerSource, dbA, dbB *geodb.DB, or
 
 	agg := newStreamAgg(cfg)
 	locSpan := span.Child("locate")
+	tLoc := tb.Child("locate")
 	err := streamPass(ctx, src, dbA, secondary, origins, checked, cfg, wp, lookupsC, agg)
+	tLoc.SetInt("crawled", int64(agg.crawled))
+	tLoc.End()
 	locSpan.End()
 	if err != nil {
 		return nil, err
@@ -117,8 +126,10 @@ func BuildStream(ctx context.Context, src p2p.PeerSource, dbA, dbB *geodb.DB, or
 				lostDB, lostFrac = dbA, fracA
 			}
 			fbSpan := span.Child("locate_single_db_fallback")
+			tFb := tb.Child("locate_single_db_fallback")
 			agg = newStreamAgg(cfg)
 			err = streamPass(ctx, src, survivor, nil, origins, checked, cfg, wp, lookupsC, agg)
+			tFb.End()
 			fbSpan.End()
 			if err != nil {
 				return nil, err
@@ -157,8 +168,10 @@ func BuildStream(ctx context.Context, src p2p.PeerSource, dbA, dbB *geodb.DB, or
 	// merged its batch); this hands the accumulated state to the
 	// dataset and publishes the memory watermarks.
 	aggSpan := span.Child("aggregate")
+	tAgg := tb.Child("aggregate")
 	ds.CrawledPeers = n
 	agg.finish(ds, cfg)
+	tAgg.End()
 	aggSpan.End()
 
 	// Flush the peer-level funnel stages once per reason — only now,
@@ -183,7 +196,12 @@ func BuildStream(ctx context.Context, src p2p.PeerSource, dbA, dbB *geodb.DB, or
 	ds.Drops.DupIP = agg.dup
 
 	condSpan := span.Child("condition")
+	tCond := tb.Child("condition")
 	out, err := condition(ctx, ds, cfg, stCond, agg.accs)
+	if out != nil {
+		tCond.SetInt("ases", int64(len(out.Order)))
+	}
+	tCond.End()
 	condSpan.End()
 	return out, err
 }

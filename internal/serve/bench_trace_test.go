@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eyeballas/internal/trace"
+)
+
+// Benchmarks back scripts/bench_trace.sh: the *Traced variants run the
+// exact hot paths of bench_test.go with the full tracing stack enabled
+// — tracer, flight recorder, slow capture, and histogram exemplars —
+// and the gate holds their overhead within 3% of the untraced baseline.
+// The *TracedLogged variants add the structured access-log line; the
+// slog encode dominates there, so they are reported informationally and
+// sit outside the gate (see DESIGN.md §11).
+
+func tracedBenchServer(b *testing.B, accessLog bool) http.Handler {
+	opts := Options{
+		Tracer: trace.New(trace.Options{
+			Seed: 42,
+			Recorder: trace.NewRecorder(trace.RecorderOptions{
+				Recent:        128,
+				SlowThreshold: 250 * time.Millisecond,
+			}),
+		}),
+	}
+	if accessLog {
+		opts.AccessLog = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	s, _, _ := newTestServer(b, opts)
+	return s.Handler()
+}
+
+func benchGet(b *testing.B, h http.Handler, url string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}
+
+func primeFootprint(b *testing.B, h http.Handler) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/footprint/64500", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("prime: %d", rec.Code)
+	}
+}
+
+func BenchmarkFootprintCachedTraced(b *testing.B) {
+	h := tracedBenchServer(b, false)
+	primeFootprint(b, h)
+	benchGet(b, h, "/v1/footprint/64500")
+}
+
+func BenchmarkLookupTraced(b *testing.B) {
+	h := tracedBenchServer(b, false)
+	benchGet(b, h, "/v1/lookup?ip=10.1.2.3")
+}
+
+func BenchmarkFootprintCachedTracedLogged(b *testing.B) {
+	h := tracedBenchServer(b, true)
+	primeFootprint(b, h)
+	benchGet(b, h, "/v1/footprint/64500")
+}
+
+func BenchmarkLookupTracedLogged(b *testing.B) {
+	h := tracedBenchServer(b, true)
+	benchGet(b, h, "/v1/lookup?ip=10.1.2.3")
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"net/http"
+
+	"eyeballas/internal/obs"
+	"eyeballas/internal/trace"
+)
+
+// The /debug endpoints expose the flight recorder over HTTP:
+//
+//	GET /debug/requests       last-N completed request traces (summaries)
+//	GET /debug/requests/slow  threshold-triggered slow captures
+//	GET /debug/trace/{id}     one full trace (the canonical Detail JSON)
+//
+// They are mounted only when Options.Tracer carries a Recorder, sit
+// outside the shedding/timeout discipline (an overloaded server must
+// still be inspectable), and are not themselves traced — the recorder
+// never fills with reads of itself. All payloads go through the shared
+// obs tree encoder, so the JSON here is byte-for-byte the encoding the
+// offline tools emit for the same trace.
+
+// debugListing is the /debug/requests[/slow] payload.
+type debugListing struct {
+	Traces []trace.Summary `json:"traces"`
+}
+
+func (s *Server) handleDebugList(w http.ResponseWriter, roots []*trace.Span) {
+	out := debugListing{Traces: make([]trace.Summary, 0, len(roots))}
+	for _, root := range roots {
+		out.Traces = append(out.Traces, trace.SummaryOf(root))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.EncodeJSON(w, out)
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request, rec *trace.Recorder) {
+	raw := r.PathValue("id")
+	id, ok := trace.ParseTraceID(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad trace id %q (want 32 lowercase hex digits)", raw)
+		return
+	}
+	root := rec.Find(id)
+	if root == nil {
+		writeError(w, http.StatusNotFound, "trace %s not retained (ring capacity exceeded or never seen)", raw)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trace.WriteJSON(w, root)
+}

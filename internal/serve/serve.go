@@ -40,6 +40,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	"eyeballas/internal/ipnet"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/snapshot"
+	"eyeballas/internal/trace"
 )
 
 // Options configure a Server. Zero fields take the listed defaults.
@@ -75,6 +77,16 @@ type Options struct {
 	Obs *obs.Registry
 	// Gaz maps density peaks to cities (default gazetteer.Default()).
 	Gaz *gazetteer.Gazetteer
+	// Tracer records one request-scoped trace per request into its
+	// flight recorder, inspectable at /debug/requests and
+	// /debug/trace/{id}; nil disables tracing (the per-request cost is
+	// then a single branch). Response bytes are bit-identical either
+	// way — tracing is a read-only side channel.
+	Tracer *trace.Tracer
+	// AccessLog receives one structured line per request (route,
+	// status, outcome, duration, trace ID); nil disables access
+	// logging.
+	AccessLog *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -204,13 +216,35 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/lookup", s.instrument("lookup", true, s.handleLookup))
 	mux.Handle("GET /v1/footprint/{asn}", s.instrument("footprint", true, s.handleFootprint))
 	mux.Handle("POST /-/reload", s.instrument("reload", false, s.handleReload))
+	// Diagnostic surfaces ride outside the serving discipline: no
+	// shedding, no tracing of the trace-inspection requests themselves.
+	if rec := s.opts.Tracer.Recorder(); rec != nil {
+		mux.Handle("GET /debug/requests", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.handleDebugList(w, rec.Recent())
+		}))
+		mux.Handle("GET /debug/requests/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.handleDebugList(w, rec.Slow())
+		}))
+		mux.Handle("GET /debug/trace/{id}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.handleDebugTrace(w, r, rec)
+		}))
+	}
+	if s.opts.Obs != nil {
+		h := s.opts.Obs.HTTPHandler()
+		mux.Handle("GET /metrics", h)
+		mux.Handle("GET /metrics.json", h)
+	}
 	return mux
 }
 
-// statusWriter records the response code for instrumentation.
+// statusWriter records the response code and size for instrumentation,
+// and carries the request's root span to handlers (spanOf) without a
+// context hop on the hot path.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	n    int
+	span *trace.Span
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -218,18 +252,70 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the serving discipline: load
-// shedding (when limited), the per-request deadline, and request/
-// latency metrics.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += n
+	return n, err
+}
+
+// spanOf returns the root span the middleware attached to this request,
+// or nil when tracing is disabled. Composes with the nil-safe span API.
+func spanOf(w http.ResponseWriter) *trace.Span {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.span
+	}
+	return nil
+}
+
+// instrument wraps a handler with the serving discipline: load shedding
+// (when limited), the per-request deadline, request/latency metrics,
+// and — when configured — the request-scoped trace and the structured
+// access-log line. The three records of one request (trace, log line,
+// metrics) are emitted from the same deferred block over the same
+// statusWriter state, so they cannot disagree about status or outcome.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
 	hist := s.opts.Obs.Histogram("eyeball_serve_latency_seconds", obs.LatencyBuckets(), "endpoint", endpoint)
+	spanName := "serve." + endpoint
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		outcome := "ok"
+		if s.opts.Tracer != nil {
+			// Direct map index under the canonical key (the server
+			// canonicalizes inbound header names): Header.Get with a
+			// non-canonical key allocates on every request.
+			var traceparent string
+			if v := r.Header["Traceparent"]; len(v) > 0 {
+				traceparent = v[0]
+			}
+			sw.span = s.opts.Tracer.StartAt(spanName, start, traceparent)
+			sw.span.SetStr("route", endpoint)
+		}
 		defer func() {
-			hist.Observe(time.Since(start).Seconds())
+			dur := time.Since(start)
+			switch sw.code {
+			case http.StatusGatewayTimeout:
+				outcome = "timeout"
+				s.opts.Obs.Counter("eyeball_serve_timeouts_total", "endpoint", endpoint).Inc()
+			default:
+				if sw.code >= 500 && outcome == "ok" {
+					outcome = "error"
+				}
+			}
+			if sw.span != nil {
+				sw.span.SetInt("status", int64(sw.code))
+				sw.span.SetStr("outcome", outcome)
+				sw.span.SetInt("bytes", int64(sw.n))
+				sw.span.EndAt(start.Add(dur))
+				hist.ObserveExemplar(dur.Seconds(), sw.span)
+			} else {
+				hist.Observe(dur.Seconds())
+			}
 			s.opts.Obs.Counter("eyeball_serve_requests_total",
 				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+			if s.opts.AccessLog != nil {
+				s.logRequest(r, sw, endpoint, outcome, dur)
+			}
 		}()
 
 		if limited && s.sem != nil {
@@ -237,6 +323,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
+				outcome = "shed"
 				s.opts.Obs.Counter("eyeball_serve_shed_total", "endpoint", endpoint).Inc()
 				sw.Header().Set("Retry-After", "1")
 				writeJSON(sw, http.StatusServiceUnavailable, map[string]any{
@@ -252,6 +339,27 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		}
 		h(sw, r)
 	})
+}
+
+// logRequest emits the request's structured access-log line. One line
+// per request, same fields in the same order for every endpoint, trace
+// ID included whenever tracing is on — the log is the grep-able index
+// into the flight recorder.
+func (s *Server) logRequest(r *http.Request, sw *statusWriter, endpoint, outcome string, dur time.Duration) {
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("route", endpoint),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.code),
+		slog.String("outcome", outcome),
+		slog.Int("bytes", sw.n),
+		slog.Int64("dur_us", dur.Microseconds()),
+	)
+	if sw.span != nil {
+		attrs = append(attrs, slog.String("trace", sw.span.TraceID().String()))
+	}
+	s.opts.AccessLog.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -319,6 +427,7 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	spanOf(w).SetInt("generation", int64(a.Gen))
 	rec := a.Snap.Dataset.AS(asn)
 	if rec == nil {
 		writeError(w, http.StatusNotFound, "AS%d not in dataset", asn)
@@ -348,6 +457,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	if a == nil {
 		return
 	}
+	spanOf(w).SetInt("generation", int64(a.Gen))
 	raw := r.URL.Query().Get("ip")
 	if raw == "" {
 		writeError(w, http.StatusBadRequest, "missing ip query parameter")
@@ -395,16 +505,21 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sp := spanOf(w)
+	sp.SetInt("asn", int64(asn))
+	sp.SetInt("generation", int64(a.Gen))
 	key := cacheKey{gen: a.Gen, asn: asn, bw: math.Float64bits(bw)}
 	if body, ok := s.cache.get(key); ok {
+		sp.SetStr("cache", "hit")
 		s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "hit").Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 		return
 	}
+	sp.SetStr("cache", "miss")
 	s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "miss").Inc()
 
-	body, err := RenderFootprint(r.Context(), s.opts.Gaz, rec, bw, s.opts.Workers, s.opts.Obs)
+	body, err := RenderFootprint(trace.NewContext(r.Context(), sp), s.opts.Gaz, rec, bw, s.opts.Workers, s.opts.Obs)
 	if err != nil {
 		if r.Context().Err() != nil {
 			writeError(w, http.StatusGatewayTimeout, "footprint render timed out: %v", err)

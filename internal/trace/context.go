@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+)
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s. A nil span returns ctx unchanged
+// (no allocation), so untraced requests never pay for the context hop.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil — safe to call
+// with a nil or span-free context, and composes with the nil-receiver
+// span API: trace.FromContext(ctx).Child("x") is always valid.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Inject writes the span's W3C traceparent header into h — the outbound
+// half of context propagation, for clients calling downstream services
+// with an active span. No-op on a nil span.
+func Inject(h http.Header, s *Span) {
+	if s == nil {
+		return
+	}
+	h.Set("Traceparent", s.Traceparent())
+}

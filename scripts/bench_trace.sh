@@ -1,0 +1,88 @@
+#!/bin/sh
+# bench_trace.sh — measure what request tracing costs the serve hot
+# paths and emit BENCH_pr8.json. The *Traced benchmarks run the exact
+# cached-footprint and lookup paths of bench_serve.sh with the full
+# tracing stack enabled (tracer, flight recorder, slow capture,
+# histogram exemplars); the gate holds them within 3% of the PR 7
+# recorded baseline (BENCH_pr7.json), per-process wall-clock noise on
+# shared runners being what it is, and additionally pins the
+# deterministic side of the cost: tracing may add at most one heap
+# allocation and 1 KiB per request (the measured cost is 0 extra
+# allocations and one 576-byte slab share per request — see DESIGN.md
+# §11). ns/op is taken as the min over COUNT runs, the standard
+# noise-floor estimator.
+#
+# Usage: scripts/bench_trace.sh [output.json]
+#   BENCHTIME=0.3s COUNT=2 scripts/bench_trace.sh   # quicker CI smoke
+set -eu
+out="${1:-BENCH_pr8.json}"
+benchtime="${BENCHTIME:-0.5s}"
+count="${COUNT:-4}"
+baseline="$(dirname "$0")/../BENCH_pr7.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# PR 7 recorded baselines (ns/op) — the anchor the ISSUE's ≤3% overhead
+# gate is phrased against.
+base_fp=$(sed -n 's/.*"BenchmarkFootprintCached": { "ns_per_op": \([0-9]*\).*/\1/p' "$baseline")
+base_lk=$(sed -n 's/.*"BenchmarkLookup": { "ns_per_op": \([0-9]*\).*/\1/p' "$baseline")
+[ -n "$base_fp" ] && [ -n "$base_lk" ] || {
+  echo "cannot parse PR 7 baselines from $baseline" >&2; exit 1
+}
+
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'BenchmarkFootprintCached$|BenchmarkFootprintCachedTraced$|BenchmarkLookup$|BenchmarkLookupTraced$' \
+  -benchtime "$benchtime" -count "$count" ./internal/serve/ | tee "$tmp"
+
+awk -v base_fp="$base_fp" -v base_lk="$base_lk" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) ns[name] = $3
+    bop[name] = $5; aop[name] = $7
+    if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+  }
+  END {
+    if (n < 4) { print "benchmark output not parsed" > "/dev/stderr"; exit 1 }
+    fp  = ns["BenchmarkFootprintCachedTraced"] + 0
+    lk  = ns["BenchmarkLookupTraced"] + 0
+    fpb = bop["BenchmarkFootprintCachedTraced"] - bop["BenchmarkFootprintCached"]
+    lkb = bop["BenchmarkLookupTraced"] - bop["BenchmarkLookup"]
+    fpa = aop["BenchmarkFootprintCachedTraced"] - aop["BenchmarkFootprintCached"]
+    lka = aop["BenchmarkLookupTraced"] - aop["BenchmarkLookup"]
+    ns_ok    = (fp <= base_fp * 1.03 && lk <= base_lk * 1.03)
+    alloc_ok = (fpa <= 1 && lka <= 1 && fpb <= 1024 && lkb <= 1024)
+    printf "{\n"
+    printf "  \"pr\": 8,\n"
+    printf "  \"gomaxprocs\": 1,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+        order[i], ns[order[i]], bop[order[i]], aop[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    printf "  \"gate\": {\n"
+    printf "    \"footprint_traced_ns_max\": %d,\n", base_fp * 1.03
+    printf "    \"lookup_traced_ns_max\": %d,\n", base_lk * 1.03
+    printf "    \"traced_extra_allocs_max\": 1,\n"
+    printf "    \"traced_extra_bytes_max\": 1024,\n"
+    printf "    \"footprint_extra_bytes\": %d,\n", fpb
+    printf "    \"lookup_extra_bytes\": %d,\n", lkb
+    printf "    \"footprint_extra_allocs\": %d,\n", fpa
+    printf "    \"lookup_extra_allocs\": %d,\n", lka
+    printf "    \"traced_ns_ok\": %s,\n", (ns_ok ? "true" : "false")
+    printf "    \"traced_alloc_ok\": %s\n", (alloc_ok ? "true" : "false")
+    printf "  }\n"
+    printf "}\n"
+  }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
+status=0
+if ! grep -q '"traced_ns_ok": true' "$out"; then
+  echo "traced hot paths exceed 1.03x the PR 7 recorded baseline" >&2
+  status=1
+fi
+if ! grep -q '"traced_alloc_ok": true' "$out"; then
+  echo "tracing allocates past its per-request budget (1 alloc / 1 KiB)" >&2
+  status=1
+fi
+exit $status
