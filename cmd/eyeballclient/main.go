@@ -1,0 +1,242 @@
+// Command eyeballclient is the resilient CLI for the eyeballserve
+// /v1 API: every request goes through internal/client's full serving
+// discipline — deadline-aware retries with seeded full-jitter backoff,
+// Retry-After honoring, a retry budget, per-endpoint circuit breakers,
+// and optional hedged GETs — so the command line exercises exactly the
+// failure handling library consumers get.
+//
+// Usage:
+//
+//	eyeballclient -url http://host:port [-timeout 30s] [-attempts 4]
+//	              [-seed N] [-hedge D] [-breaker-threshold N]
+//	              [-breaker-cooldown D] <command> [args]
+//
+// Commands:
+//
+//	health               GET /healthz, print the body
+//	as <asn>             GET /v1/as/{asn}, print the body
+//	lookup <ip>          GET /v1/lookup?ip=<ip>, print the body
+//	footprint <asn>      GET /v1/footprint/{asn} (-bw overrides km)
+//	reload               POST /-/reload, print the result
+//	drill <path>...      issue -n requests round-robin over the given
+//	                     paths, classify every outcome, and print a
+//	                     JSON report (see below)
+//
+// drill is the chaos-harness mode CI uses against a fault-injected
+// server: requests run sequentially (so a seeded server's injection
+// ledger is reproducible), every failure must map to one of the
+// client's typed errors, and the report counts the fault markers the
+// client observed per X-Chaos point. The command exits non-zero only
+// on unclassified errors or a report-writing failure — typed errors
+// are expected outcomes under chaos, not tool failures.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"eyeballas/internal/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "eyeballclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("eyeballclient", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	url := fs.String("url", "", "server base URL, e.g. http://127.0.0.1:8080 (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-command deadline (drill: per-request)")
+	attempts := fs.Int("attempts", 4, "max wire attempts per request, first try included")
+	seed := fs.Uint64("seed", 1, "backoff-jitter seed: same seed, same retry schedule")
+	hedge := fs.Duration("hedge", 0, "hedge idempotent GETs after this delay (0 disables; ignored by drill)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open an endpoint's circuit")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before the half-open probe")
+	bw := fs.Float64("bw", 0, "footprint kernel bandwidth in km (0 = server default)")
+	n := fs.Int("n", 100, "drill: total requests to issue")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("-url is required")
+	}
+	cmdArgs := fs.Args()
+	if len(cmdArgs) == 0 {
+		return errors.New("missing command: health | as | lookup | footprint | reload | drill")
+	}
+	cmd, rest := cmdArgs[0], cmdArgs[1:]
+
+	opts := client.Options{
+		MaxAttempts: *attempts,
+		Seed:        *seed,
+		HedgeAfter:  *hedge,
+		Breaker: client.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		},
+	}
+	if cmd == "drill" {
+		// Hedging duplicates attempts at racy times; the drill's
+		// reproducible-ledger contract needs one attempt stream.
+		opts.HedgeAfter = 0
+	}
+
+	switch cmd {
+	case "health":
+		return printGet(ctx, stdout, opts, *url, *timeout, "/healthz")
+	case "as":
+		asn, err := argASN(rest)
+		if err != nil {
+			return err
+		}
+		return printGet(ctx, stdout, opts, *url, *timeout, fmt.Sprintf("/v1/as/%d", asn))
+	case "lookup":
+		if len(rest) != 1 {
+			return errors.New("usage: lookup <ip>")
+		}
+		return printGet(ctx, stdout, opts, *url, *timeout, "/v1/lookup?ip="+rest[0])
+	case "footprint":
+		asn, err := argASN(rest)
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("/v1/footprint/%d", asn)
+		if *bw > 0 {
+			path += fmt.Sprintf("?bw=%g", *bw)
+		}
+		return printGet(ctx, stdout, opts, *url, *timeout, path)
+	case "reload":
+		c := client.New(*url, opts)
+		cctx, cancel := context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		res, err := c.Reload(cctx)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(stdout).Encode(res)
+	case "drill":
+		return drill(ctx, stdout, opts, *url, *timeout, *n, rest)
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func argASN(rest []string) (int, error) {
+	if len(rest) != 1 {
+		return 0, errors.New("expected exactly one ASN argument")
+	}
+	asn, err := strconv.Atoi(rest[0])
+	if err != nil || asn < 0 {
+		return 0, fmt.Errorf("bad ASN %q", rest[0])
+	}
+	return asn, nil
+}
+
+func printGet(ctx context.Context, stdout io.Writer, opts client.Options, url string, timeout time.Duration, path string) error {
+	c := client.New(url, opts)
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	body, err := c.Get(cctx, path)
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(body)
+	return err
+}
+
+// drillReport is the JSON the drill command emits: per-class outcome
+// counts plus the client-side view of the server's fault injections.
+type drillReport struct {
+	Requests     int            `json:"requests"`
+	OK           int            `json:"ok"`
+	TypedErrors  map[string]int `json:"typed_errors"`
+	Unclassified int            `json:"unclassified"`
+	Attempts     int            `json:"attempts"`
+	Observed     map[string]int `json:"observed_injections"`
+}
+
+func drill(ctx context.Context, stdout io.Writer, opts client.Options, url string, timeout time.Duration, n int, paths []string) error {
+	if len(paths) == 0 {
+		return errors.New("usage: drill <path>... (e.g. drill /v1/as/64500 '/v1/lookup?ip=10.0.0.1')")
+	}
+	rep := drillReport{
+		TypedErrors: map[string]int{},
+		Observed:    map[string]int{},
+	}
+	// Fresh connection per request: on a reused keep-alive connection
+	// that dies before response bytes arrive, net/http silently retries
+	// idempotent GETs — the server would draw a chaos decision the
+	// Observer never saw, and the ledgers would drift. One connection
+	// per attempt keeps client and server counts reconcilable.
+	opts.HTTPClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	opts.Observer = func(a client.Attempt) {
+		rep.Attempts++
+		switch {
+		case a.Err != nil:
+			// Transport death is the client-visible face of serve-drop.
+			rep.Observed["serve-drop"]++
+		case a.Chaos != "":
+			rep.Observed[a.Chaos]++
+		}
+	}
+	c := client.New(url, opts)
+
+	for i := 0; i < n; i++ {
+		path := paths[i%len(paths)]
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		_, err := c.Get(cctx, path)
+		cancel()
+		switch {
+		case err == nil:
+			rep.OK++
+		case errors.Is(err, client.ErrNotFound):
+			rep.TypedErrors["not_found"]++
+		case errors.Is(err, client.ErrOverloaded):
+			rep.TypedErrors["overloaded"]++
+		case errors.Is(err, client.ErrCircuitOpen):
+			rep.TypedErrors["circuit_open"]++
+		case errors.Is(err, client.ErrRetryBudgetExhausted):
+			rep.TypedErrors["retry_budget_exhausted"]++
+		case errors.Is(err, client.ErrUnavailable):
+			rep.TypedErrors["unavailable"]++
+		case isAPIError(err):
+			rep.TypedErrors["api_error"]++
+		case ctx.Err() != nil:
+			return ctx.Err()
+		default:
+			rep.Unclassified++
+		}
+		rep.Requests++
+	}
+
+	// encoding/json marshals map keys in sorted order, so the report
+	// is byte-stable across runs — the CI ledger comparison diffs it.
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Unclassified > 0 {
+		return fmt.Errorf("%d of %d outcomes were unclassified errors", rep.Unclassified, rep.Requests)
+	}
+	return nil
+}
+
+func isAPIError(err error) bool {
+	var api *client.APIError
+	return errors.As(err, &api)
+}

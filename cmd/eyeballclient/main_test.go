@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestCommandsPrintRawBodies(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","generation":1}` + "\n"))
+	})
+	mux.HandleFunc("GET /v1/as/{asn}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"asn":` + r.PathValue("asn") + `}` + "\n"))
+	})
+	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ip":"` + r.URL.Query().Get("ip") + `","matched":false}` + "\n"))
+	})
+	mux.HandleFunc("GET /v1/footprint/{asn}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"asn":` + r.PathValue("asn") + `,"bw":"` + r.URL.Query().Get("bw") + `"}` + "\n"))
+	})
+	mux.HandleFunc("POST /-/reload", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"reloaded","generation":2}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-url", ts.URL, "health"}, `"status":"ok"`},
+		{[]string{"-url", ts.URL, "as", "64500"}, `{"asn":64500}`},
+		{[]string{"-url", ts.URL, "lookup", "10.0.0.1"}, `"ip":"10.0.0.1"`},
+		{[]string{"-url", ts.URL, "-bw", "35", "footprint", "64500"}, `"bw":"35"`},
+		{[]string{"-url", ts.URL, "reload"}, `"generation":2`},
+	} {
+		out, _, err := runCLI(t, tc.args...)
+		if err != nil {
+			t.Errorf("%v: %v", tc.args, err)
+			continue
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%v output %q does not contain %q", tc.args, out, tc.want)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"health"},                                     // missing -url
+		{"-url", "http://x"},                           // missing command
+		{"-url", "http://x", "frobnicate"},             // unknown command
+		{"-url", "http://x", "as"},                     // missing ASN
+		{"-url", "http://x", "as", "banana"},           // bad ASN
+		{"-url", "http://x", "drill"},                  // no drill paths
+		{"-url", "http://x", "lookup", "1.2.3.4", "x"}, // extra arg
+	} {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("%v: expected a usage error", args)
+		}
+	}
+}
+
+// TestDrillClassifiesAndReports: against a server that injects a
+// deterministic mix of chaos-marked 500s, the drill must classify
+// every outcome, count observed injections, and exit cleanly (typed
+// errors are expected under chaos, not failures).
+func TestDrillClassifiesAndReports(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n%5 == 0 { // every 5th attempt: injected 500, retries recover
+			w.Header().Set("X-Chaos", "serve-500")
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"injected"}`))
+			return
+		}
+		w.Write([]byte(`{"asn":64500}`))
+	}))
+	defer ts.Close()
+
+	out, _, err := runCLI(t, "-url", ts.URL, "-n", "40", "-seed", "7", "drill", "/v1/as/64500")
+	if err != nil {
+		t.Fatalf("drill: %v\n%s", err, out)
+	}
+	var rep drillReport
+	if jerr := json.Unmarshal([]byte(out), &rep); jerr != nil {
+		t.Fatalf("drill output not JSON: %v\n%s", jerr, out)
+	}
+	if rep.Requests != 40 || rep.Unclassified != 0 {
+		t.Errorf("report = %+v, want 40 requests, 0 unclassified", rep)
+	}
+	if rep.OK != 40 {
+		t.Errorf("every request should recover via retries, got %d ok", rep.OK)
+	}
+	if rep.Observed["serve-500"] == 0 {
+		t.Errorf("drill observed no injections: %+v", rep.Observed)
+	}
+	if rep.Attempts <= rep.Requests {
+		t.Errorf("attempts %d should exceed requests %d under retries", rep.Attempts, rep.Requests)
+	}
+}
+
+// TestDrillAgainstDeadServer: total unavailability must come out as
+// typed unavailable outcomes (exit 0), never unclassified.
+func TestDrillAgainstDeadServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	out, _, err := runCLI(t, "-url", url, "-n", "5", "-attempts", "2",
+		"-breaker-threshold", "1000", "drill", "/healthz")
+	if err != nil {
+		t.Fatalf("drill against dead server must classify, not fail: %v", err)
+	}
+	var rep drillReport
+	if jerr := json.Unmarshal([]byte(out), &rep); jerr != nil {
+		t.Fatalf("drill output not JSON: %v\n%s", jerr, out)
+	}
+	if rep.Unclassified != 0 {
+		t.Errorf("unclassified = %d, want 0", rep.Unclassified)
+	}
+	if rep.TypedErrors["unavailable"]+rep.TypedErrors["retry_budget_exhausted"] != 5 {
+		t.Errorf("typed errors = %+v, want all 5 requests classified", rep.TypedErrors)
+	}
+}

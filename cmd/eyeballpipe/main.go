@@ -217,7 +217,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if flipped := snapshot.Mangle(data, plan.Injector(faults.SnapCorrupt)); flipped > 0 {
 			fmt.Fprintf(stderr, "faults: snap-corrupt flipped %d bytes of %s\n", flipped, *snapPath)
 		}
-		if err := os.WriteFile(*snapPath, data, 0o644); err != nil {
+		// Crash-safe publish: the artifact lands via temp file + fsync +
+		// rename, so a serving process reloading this path mid-write can
+		// never read a torn snapshot.
+		if err := snapshot.WriteFileAtomicBytes(*snapPath, data); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote snapshot artifact to %s (%d bytes, %d ASes)\n",

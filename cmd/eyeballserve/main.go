@@ -5,10 +5,12 @@
 // Usage:
 //
 //	eyeballserve -snap dataset.snap [-addr :8080] [-timeout 5s]
-//	             [-max-inflight N] [-cache N] [-bw KM] [-workers N]
+//	             [-max-inflight N] [-target-latency D] [-cache N]
+//	             [-bw KM] [-workers N]
 //	             [-print-footprint ASN] [-log-format json|text]
 //	             [-tracing=false] [-trace-recent N] [-trace-slow D]
 //	             [-trace-seed N]
+//	             [-chaos SPEC] [-chaos-seed N] [-chaos-slow-max D]
 //	             [-metrics out.json|out.prom|-] [-trace] [-pprof :6060]
 //
 // Endpoints:
@@ -55,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"eyeballas/internal/faults"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/serve"
 	"eyeballas/internal/trace"
@@ -121,6 +124,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	traceRecent := fs.Int("trace-recent", 128, "flight recorder capacity: last N completed request traces")
 	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "slow-capture threshold; requests at or above it enter the slow ring")
 	traceSeed := fs.Uint64("trace-seed", 0, "trace-ID seed: nonzero makes IDs deterministic (tests/CI), 0 draws random IDs")
+	chaosSpec := fs.String("chaos", "", "serve-path fault plan, e.g. serve-500=0.05,serve-drop=0.02 (see internal/faults; empty = chaos off)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "chaos plan seed: decisions are a pure function of (seed, point, request sequence)")
+	chaosSlowMax := fs.Duration("chaos-slow-max", 25*time.Millisecond, "ceiling for serve-slow injected delays")
+	targetLatency := fs.Duration("target-latency", 250*time.Millisecond, "latency target for the adaptive concurrency limiter (EWMA above it shrinks the admission limit)")
 	obsFlags := obs.BindCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +145,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	defer obsFlags.Finish(stdout, stderr)
 
+	var chaos *serve.Chaos
+	if *chaosSpec != "" {
+		plan, err := faults.ParseSpec(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		chaos = serve.NewChaos(plan, *chaosSlowMax)
+		if chaos == nil {
+			return fmt.Errorf("-chaos %q arms no serve-path points (serve-slow, serve-panic, serve-500, serve-drop, reload-fail)", *chaosSpec)
+		}
+		logger.LogAttrs(ctx, slog.LevelWarn, "chaos armed",
+			slog.String("spec", *chaosSpec),
+			slog.Uint64("seed", *chaosSeed))
+	}
+
 	var tracer *trace.Tracer
 	if *tracing {
 		tracer = trace.New(trace.Options{
@@ -150,14 +172,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	srv := serve.New(serve.Options{
-		Timeout:     *timeout,
-		MaxInflight: *maxInflight,
-		CacheSize:   *cacheSize,
-		BandwidthKm: *bw,
-		Workers:     *workers,
-		Obs:         reg,
-		Tracer:      tracer,
-		AccessLog:   logger,
+		Timeout:       *timeout,
+		MaxInflight:   *maxInflight,
+		CacheSize:     *cacheSize,
+		BandwidthKm:   *bw,
+		Workers:       *workers,
+		TargetLatency: *targetLatency,
+		Chaos:         chaos,
+		Obs:           reg,
+		Tracer:        tracer,
+		AccessLog:     logger,
 	})
 	art, err := srv.LoadFile(*snapPath)
 	if err != nil {

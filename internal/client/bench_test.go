@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The happy-path overhead gate: BenchmarkClientLookup routes a request
+// through the full resilience stack (budget, breaker, backoff plumbing)
+// while BenchmarkDirectLookup issues the identical request with bare
+// net/http. Both talk to the same kind of loopback server over shared
+// keep-alive pools, so the ratio isolates the client's bookkeeping —
+// scripts/bench_client.sh gates it at 1.05x.
+
+var benchBody = []byte(`{"ip":"10.0.0.1","matched":true,"asn":64500,"prefix":"10.0.0.0/8","country":"IT"}`)
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(benchBody)
+	}))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func BenchmarkClientLookup(b *testing.B) {
+	ts := benchServer(b)
+	c := New(ts.URL, Options{HTTPClient: ts.Client()})
+	ctx := context.Background()
+	// Warm the connection pool so both benchmarks measure steady state.
+	if _, err := c.Get(ctx, "/v1/lookup?ip=10.0.0.1"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(ctx, "/v1/lookup?ip=10.0.0.1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectLookup(b *testing.B) {
+	ts := benchServer(b)
+	hc := ts.Client()
+	url := ts.URL + "/v1/lookup?ip=10.0.0.1"
+	do := func() error {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return err
+	}
+	if err := do(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := do(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

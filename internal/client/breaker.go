@@ -1,0 +1,137 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation, counting failures
+	breakerOpen                         // refusing calls until the cooldown elapses
+	breakerHalfOpen                     // one probe in flight decides the next state
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-endpoint circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips a
+	// closed breaker open. <=0 selects the default (5).
+	Threshold int
+	// Cooldown is how long an open breaker refuses calls before
+	// admitting a single half-open probe. <=0 selects the default (1s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// breaker is one endpoint's circuit: closed until Threshold
+// consecutive failures, then open for Cooldown, then half-open — one
+// probe request decides whether to close again or re-open. Time comes
+// from an injected clock so the unit tests never sleep.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow reports whether a request may proceed. In half-open state only
+// one caller at a time gets true (the probe); everyone else is
+// refused until the probe reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// report feeds the outcome of an allowed request back into the
+// machine. Only errors the breaker should react to — transport
+// failures and 5xx — count as failure; a 404 is a healthy server
+// giving a correct answer.
+func (b *breaker) report(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !failed {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.trip()
+			return
+		}
+		b.state = breakerClosed
+		b.failures = 0
+	case breakerOpen:
+		// A straggler from before the trip; its outcome is stale.
+	}
+}
+
+// trip must be called with mu held.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+}
+
+// snapshot returns the state for introspection (tests, CLI output).
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

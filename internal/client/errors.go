@@ -1,0 +1,64 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Every failure a Client method returns wraps exactly
+// one of these (or is a context error from the caller's own deadline),
+// so callers — and the chaos e2e harness — can classify outcomes with
+// errors.Is and nothing falls through to string matching.
+var (
+	// ErrNotFound: the server answered 404 — the AS or prefix is not
+	// in the dataset. Never retried.
+	ErrNotFound = errors.New("client: not found")
+
+	// ErrOverloaded: the server shed the request (503 + Retry-After)
+	// and retries could not get it admitted before the attempt or
+	// budget limit.
+	ErrOverloaded = errors.New("client: server overloaded")
+
+	// ErrCircuitOpen: the endpoint's circuit breaker is open; the
+	// request was refused locally without touching the network.
+	ErrCircuitOpen = errors.New("client: circuit open")
+
+	// ErrRetryBudgetExhausted: the attempt failed retryably but the
+	// client-wide retry budget is spent, so no retry was issued.
+	ErrRetryBudgetExhausted = errors.New("client: retry budget exhausted")
+
+	// ErrUnavailable: transport-level failure (connection reset, EOF,
+	// refused) that retries did not outlast — the signature of the
+	// serve-drop chaos point, a dead server, or a severed network.
+	ErrUnavailable = errors.New("client: server unavailable")
+)
+
+// APIError is a non-2xx response that is not one of the sentinel
+// cases above: the server spoke, the answer was an error. Unwraps to
+// ErrNotFound/ErrOverloaded when the status maps to one.
+type APIError struct {
+	Endpoint string // logical endpoint name (as, lookup, footprint, healthz, reload)
+	Status   int    // HTTP status code
+	Message  string // server's JSON error field, or raw body prefix
+	Chaos    string // X-Chaos header when the fault was injected, else ""
+
+	// retryAfterHint carries the response's parsed Retry-After seconds
+	// to the retry loop so the pause can honor it.
+	retryAfterHint int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: HTTP %d: %s", e.Endpoint, e.Status, e.Message)
+}
+
+// Unwrap maps well-known statuses onto the sentinels so one errors.Is
+// check covers both the typed and the sentinel view.
+func (e *APIError) Unwrap() error {
+	switch e.Status {
+	case 404:
+		return ErrNotFound
+	case 503:
+		return ErrOverloaded
+	}
+	return nil
+}

@@ -14,6 +14,16 @@
 //   - worker-panic              — a worker goroutine panics mid-block
 //   - snap-corrupt              — dataset snapshot bytes flipped on disk
 //
+// and, since PR 9, at the serving boundary (injected by the chaos
+// middleware in internal/serve, keyed by request sequence number):
+//
+//   - serve-slow                — a request is served after an injected delay
+//   - serve-panic               — the handler panics mid-request
+//   - serve-500                 — the handler answers an injected 500
+//   - serve-drop                — the connection is severed with no response
+//   - reload-fail               — a hot-swapped snapshot fails post-swap
+//     validation, forcing the rollback path
+//
 // Determinism discipline: every injection decision is a pure function of
 // (plan seed, fault point, site key) — the same splitmix64 split scheme
 // internal/rng uses for Source.Split — never of evaluation order, worker
@@ -86,6 +96,24 @@ const (
 	// a torn download); the snapshot reader must reject the artifact
 	// with a typed checksum error instead of serving poisoned data.
 	SnapCorrupt Point = "snap-corrupt"
+	// ServeSlow delays a served request by an injected site-derived
+	// duration — the latency fault that drives the adaptive limiter and
+	// the client's deadline handling.
+	ServeSlow Point = "serve-slow"
+	// ServePanic panics the request handler mid-request; the serve
+	// layer's recovery middleware must turn it into a 500 and keep the
+	// process alive.
+	ServePanic Point = "serve-panic"
+	// Serve500 makes the handler answer an injected 500 instead of
+	// running — the "backend dependency failed" fault clients must
+	// retry through.
+	Serve500 Point = "serve-500"
+	// ServeDrop severs the connection without writing a response — the
+	// network fault clients observe as an unexpected EOF.
+	ServeDrop Point = "serve-drop"
+	// ReloadFail makes a hot-swapped snapshot fail post-swap validation,
+	// exercising the serve layer's last-known-good rollback.
+	ReloadFail Point = "reload-fail"
 )
 
 // Points lists every fault point in canonical order (the order
@@ -97,6 +125,8 @@ var Points = []Point{
 	RIBTruncate, RIBCorrupt,
 	WorkerPanic,
 	SnapCorrupt,
+	ServeSlow, ServePanic, Serve500, ServeDrop,
+	ReloadFail,
 }
 
 // Valid reports whether p names a known fault point.

@@ -1,0 +1,124 @@
+// Package leakcheck verifies that a test leaves no goroutines behind.
+//
+// Usage:
+//
+//	defer leakcheck.Check(t)()
+//
+// Check snapshots the interesting goroutine stacks at call time; the
+// returned func re-snapshots at test end and fails the test if new
+// goroutines persist. Because goroutine shutdown is asynchronous
+// (connection teardown, timer drains), the comparison retries with a
+// short sleep until a deadline before declaring a leak — a goroutine
+// that is merely slow to exit never fails the check, one that is
+// parked forever always does.
+//
+// Stacks are normalized to their function-name lines (no goroutine
+// IDs, no argument addresses) so two generations of the same worker
+// pool compare equal, and runtime/test-harness goroutines are filtered
+// out entirely.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredSubstrings marks goroutines that belong to the runtime, the
+// test harness, or long-lived process-wide machinery — never to the
+// code under test.
+var ignoredSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"testing.runTests(",
+	"runtime.gc(",
+	"runtime.bgsweep(",
+	"runtime.bgscavenge(",
+	"runtime.forcegchelper(",
+	"runtime.ReadTrace(",
+	"os/signal.signal_recv(",
+	"os/signal.loop(",
+	"runtime.ensureSigM(",
+	"leakcheck.stacks(", // the snapshot itself
+}
+
+// stacks returns the normalized stack → count multiset of interesting
+// goroutines.
+func stacks() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		s := normalize(g)
+		if s == "" || ignored(s) {
+			continue
+		}
+		out[s]++
+	}
+	return out
+}
+
+// normalize keeps only the function-name lines of one goroutine dump:
+// the header (goroutine ID + state) and the file:line+offset lines
+// vary between otherwise identical goroutines.
+func normalize(g string) string {
+	var fns []string
+	for i, line := range strings.Split(g, "\n") {
+		if i == 0 || strings.HasPrefix(line, "\t") || line == "" {
+			continue
+		}
+		fns = append(fns, line)
+	}
+	return strings.Join(fns, "\n")
+}
+
+func ignored(stack string) bool {
+	for _, sub := range ignoredSubstrings {
+		if strings.Contains(stack, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check snapshots the current goroutines and returns the verification
+// func to defer. Goroutines already running at Check time are part of
+// the baseline and never reported.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := stacks()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for s, n := range stacks() {
+				if extra := n - before[s]; extra > 0 {
+					leaked = append(leaked, fmt.Sprintf("%d × %s", extra, s))
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leaked %d goroutine stack(s):\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+}

@@ -1,0 +1,60 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCleanTestPasses(t *testing.T) {
+	defer Check(t)()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestSlowExitIsNotALeak(t *testing.T) {
+	defer Check(t)()
+	// Exits well inside the retry window, long after the deferred
+	// check's first comparison.
+	go func() { time.Sleep(300 * time.Millisecond) }()
+}
+
+// TestLeakIsDetected drives Check against a recording TB and a
+// genuinely parked goroutine: the check must fail, and must name the
+// leaked function.
+func TestLeakIsDetected(t *testing.T) {
+	rec := &recordingTB{TB: t}
+	verify := Check(rec)
+	block := make(chan struct{})
+	defer close(block)
+	go parkedForever(block)
+
+	start := time.Now()
+	verify()
+	if !rec.failed {
+		t.Fatal("Check did not report a parked goroutine")
+	}
+	if !strings.Contains(rec.msg, "parkedForever") {
+		t.Errorf("leak report does not name the leaked function:\n%s", rec.msg)
+	}
+	if time.Since(start) < 4*time.Second {
+		t.Error("Check declared a leak before exhausting the retry window")
+	}
+}
+
+func parkedForever(ch chan struct{}) { <-ch }
+
+type recordingTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = strings.TrimSpace(fmt.Sprintf(format, args...))
+}
+
+func (r *recordingTB) Helper() {}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"eyeballas/internal/faults"
+)
+
+// chaosHeader is the response header naming the fault point injected
+// into a request. The chaos e2e harness uses it to build the
+// client-side injection ledger; production traffic never sees it
+// because chaos is opt-in (-chaos on eyeballserve).
+const chaosHeader = "X-Chaos"
+
+// chaosPanic is the value the serve-panic fault point panics with; the
+// recovery middleware recognizes any panic (this one is merely the
+// injected flavor) and converts it into a 500.
+type chaosPanic struct{ seq uint64 }
+
+func (p chaosPanic) Error() string { return "chaos: injected handler panic" }
+
+// Chaos is the serve-path fault injector: one per server, armed from a
+// faults.Plan. Every data request entering the middleware draws the
+// next value of a per-server sequence counter, and each fault point
+// decides purely on (plan seed, point, sequence) — the splitmix64
+// site-key discipline internal/faults defines — so a plan's injection
+// ledger is a pure function of the seed and the number of requests
+// served, independent of worker count, connection interleaving, or
+// wall clock.
+//
+// Points fire with short-circuit precedence drop > 500 > panic > slow,
+// so at most one fault applies per request and the ledger, the X-Chaos
+// response header, and the client's observation agree one-to-one.
+//
+// A nil *Chaos (chaos off, the production default) costs one pointer
+// test per request and zero allocations.
+type Chaos struct {
+	seq atomic.Uint64
+
+	slow   *faults.Injector
+	panics *faults.Injector
+	err500 *faults.Injector
+	drop   *faults.Injector
+	reload *faults.Injector
+
+	// slowMax bounds the injected serve-slow delay; the actual delay is
+	// site-derived in [slowMax/8, slowMax].
+	slowMax time.Duration
+
+	ledger [5]atomic.Uint64 // indexed by the idx* constants
+}
+
+// ChaosPoints is the serve-side fault points in ledger order (the
+// order Chaos.Ledger and the chaos smoke's metrics report them).
+var ChaosPoints = [5]faults.Point{
+	faults.ServeDrop, faults.Serve500, faults.ServePanic, faults.ServeSlow, faults.ReloadFail,
+}
+
+const (
+	idxDrop = iota
+	idx500
+	idxPanic
+	idxSlow
+	idxReload
+)
+
+// NewChaos arms serve-path fault injection from plan. It returns nil —
+// chaos fully off — when the plan enables none of the serve points, so
+// the caller can store the result unconditionally. slowMax bounds the
+// serve-slow delay (0 means the 25ms default).
+func NewChaos(plan *faults.Plan, slowMax time.Duration) *Chaos {
+	c := &Chaos{
+		slow:    plan.Injector(faults.ServeSlow),
+		panics:  plan.Injector(faults.ServePanic),
+		err500:  plan.Injector(faults.Serve500),
+		drop:    plan.Injector(faults.ServeDrop),
+		reload:  plan.Injector(faults.ReloadFail),
+		slowMax: slowMax,
+	}
+	if c.slow == nil && c.panics == nil && c.err500 == nil && c.drop == nil && c.reload == nil {
+		return nil
+	}
+	if c.slowMax <= 0 {
+		c.slowMax = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Ledger reports how many times each serve fault point has fired. Safe
+// on nil (all zeros).
+func (c *Chaos) Ledger() map[faults.Point]uint64 {
+	m := make(map[faults.Point]uint64, len(ChaosPoints))
+	for i, pt := range ChaosPoints {
+		if c == nil {
+			m[pt] = 0
+			continue
+		}
+		m[pt] = c.ledger[i].Load()
+	}
+	return m
+}
+
+// Requests reports how many requests have drawn an injection site.
+func (c *Chaos) Requests() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seq.Load()
+}
+
+// slowFor derives the injected delay for a slow site: deterministic in
+// [slowMax/8, slowMax], so replays sleep identically.
+func (c *Chaos) slowFor(seq uint64) time.Duration {
+	span := uint64(c.slowMax - c.slowMax/8)
+	if span == 0 {
+		return c.slowMax
+	}
+	return c.slowMax/8 + time.Duration(c.slow.Rand(seq)%span)
+}
+
+// decision is what the middleware carries from the decide step to the
+// apply steps: which point (if any) fires at this request's site.
+type decision struct {
+	seq  uint64
+	idx  int // ledger index; -1 = no fault
+	slow time.Duration
+}
+
+// decide draws the request's site and evaluates the fault points in
+// precedence order. It does not apply anything and does not touch the
+// ledger — application (and ledger accounting) happens where the fault
+// actually fires, so a request shed before its serve-slow sleep never
+// counts as slowed.
+func (c *Chaos) decide() decision {
+	seq := c.seq.Add(1)
+	d := decision{seq: seq, idx: -1}
+	switch {
+	case c.drop.Hit(seq):
+		d.idx = idxDrop
+	case c.err500.Hit(seq):
+		d.idx = idx500
+	case c.panics.Hit(seq):
+		d.idx = idxPanic
+	case c.slow.Hit(seq):
+		d.idx = idxSlow
+		d.slow = c.slowFor(seq)
+	}
+	return d
+}
+
+// reloadFails reports whether the reload-fail point fires for reload
+// attempt seq (the server's reload counter), recording it in the
+// ledger when it does. Safe on nil.
+func (c *Chaos) reloadFails(seq uint64) bool {
+	if c == nil || !c.reload.Hit(seq) {
+		return false
+	}
+	c.ledger[idxReload].Add(1)
+	return true
+}
+
+// applyPre fires the short-circuiting faults (drop, 500, panic) before
+// the request reaches the limiter: none of them consume serving
+// capacity, exactly like faults that strike before the handler would.
+// It returns true when the request was fully consumed. Injected panics
+// unwind into the recovery middleware, whose defer is already armed.
+func (s *Server) applyPre(c *Chaos, d decision, sw *statusWriter, endpoint string) bool {
+	switch d.idx {
+	case idxDrop:
+		c.ledger[idxDrop].Add(1)
+		s.chaosMetric(faults.ServeDrop)
+		sw.outcome = "chaos-drop"
+		// http.ErrAbortHandler is the stdlib contract for "sever this
+		// connection, write nothing"; the recovery middleware re-panics
+		// it instead of converting it to a 500.
+		panic(http.ErrAbortHandler)
+	case idx500:
+		c.ledger[idx500].Add(1)
+		s.chaosMetric(faults.Serve500)
+		sw.outcome = "chaos-500"
+		sw.Header().Set(chaosHeader, string(faults.Serve500))
+		writeError(sw, http.StatusInternalServerError, "chaos: injected failure (site %d)", d.seq)
+		return true
+	case idxPanic:
+		c.ledger[idxPanic].Add(1)
+		s.chaosMetric(faults.ServePanic)
+		sw.Header().Set(chaosHeader, string(faults.ServePanic))
+		panic(chaosPanic{seq: d.seq})
+	}
+	return false
+}
+
+// applySlow fires the serve-slow delay — after limiter admission, so an
+// injected-slow request occupies capacity for its whole sleep exactly
+// like a genuinely slow render would, which is what lets chaos drive
+// the adaptive limiter in tests.
+func (s *Server) applySlow(c *Chaos, d decision, sw *statusWriter) {
+	if d.idx != idxSlow {
+		return
+	}
+	c.ledger[idxSlow].Add(1)
+	s.chaosMetric(faults.ServeSlow)
+	sw.Header().Set(chaosHeader, string(faults.ServeSlow))
+	time.Sleep(d.slow)
+}
+
+func (s *Server) chaosMetric(pt faults.Point) {
+	s.opts.Obs.Counter("eyeball_serve_chaos_injections_total", "point", string(pt)).Inc()
+}

@@ -14,11 +14,34 @@
 //     truncated, checksum-corrupt, version-skewed — leaves the old
 //     artifact serving and reports the typed snapshot error.
 //
-//   - Load shedding. A fixed-size semaphore bounds concurrently served
-//     requests; excess requests are shed immediately with 503 and
-//     Retry-After rather than queueing without bound. /healthz and the
+//   - Adaptive load shedding. An AIMD concurrency limiter (limiter.go)
+//     bounds concurrently served requests: the limit opens at
+//     MaxInflight, backs off multiplicatively while the request-latency
+//     EWMA sits above the target, and recovers additively when latency
+//     is healthy. Excess requests are shed immediately with 503 and a
+//     Retry-After derived from the observed drain rate (clamped to
+//     [1, 30]) rather than queueing without bound. /healthz and the
 //     reload endpoint are exempt so probes and operators get through
 //     under overload.
+//
+//   - Panic containment. A recovery middleware inside the serving
+//     discipline converts handler panics into a 500 with a metric and
+//     a flight-recorder event; the process survives. The one panic it
+//     re-raises is http.ErrAbortHandler — the stdlib contract for
+//     "sever this connection silently", which the serve-drop chaos
+//     point uses.
+//
+//   - Deterministic chaos. When armed with a faults.Plan (chaos.go),
+//     a middleware injects serve-slow / serve-500 / serve-panic /
+//     serve-drop faults whose decisions are pure splitmix64 functions
+//     of (seed, point, request sequence) — replayable, and accounted
+//     in an injection ledger the chaos e2e harness reconciles against
+//     the client's observations. Chaos off is one branch per request.
+//
+//   - Reload rollback. The last-known-good artifact stays pinned: if a
+//     hot-swapped snapshot fails post-swap validation (or the
+//     reload-fail chaos point fires), the server auto-reverts to the
+//     pinned artifact and counts the rollback.
 //
 //   - Bounded caching. Rendered footprints — the one expensive query,
 //     a full KDE grid per call — are cached in an LRU keyed by
@@ -39,6 +62,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -61,9 +85,18 @@ type Options struct {
 	// Timeout bounds each request's handling (default 5s; negative
 	// disables).
 	Timeout time.Duration
-	// MaxInflight bounds concurrently served data requests; excess
-	// requests are shed with 503 (default 64; negative disables).
+	// MaxInflight is the adaptive limiter's ceiling on concurrently
+	// served data requests; excess requests are shed with 503 (default
+	// 64; negative disables shedding entirely).
 	MaxInflight int
+	// TargetLatency is the service-latency target the adaptive limiter
+	// holds its EWMA against: sustained latency above it shrinks the
+	// admission limit multiplicatively (default 250ms).
+	TargetLatency time.Duration
+	// Chaos arms serve-path fault injection (nil — the default — is
+	// chaos fully off at the cost of one branch per request). Build
+	// one with NewChaos; swap at runtime with SetChaos.
+	Chaos *Chaos
 	// CacheSize bounds the rendered-footprint LRU in entries (default
 	// 128; negative disables caching).
 	CacheSize int
@@ -126,13 +159,15 @@ type Server struct {
 	opts Options
 	art  atomic.Pointer[Artifact]
 
-	sem   chan struct{}
+	lim   *limiter
 	cache *lruCache
+	chaos atomic.Pointer[Chaos]
 
 	// reloadMu serializes Load/Reload so two concurrent reloads cannot
 	// interleave generation assignment; readers never take it.
-	reloadMu sync.Mutex
-	nextGen  uint64
+	reloadMu  sync.Mutex
+	nextGen   uint64
+	reloadSeq uint64
 }
 
 // New creates a server with no artifact installed (healthz reports 503
@@ -141,13 +176,24 @@ func New(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{opts: o}
 	if o.MaxInflight > 0 {
-		s.sem = make(chan struct{}, o.MaxInflight)
+		s.lim = newLimiter(DefaultController(o.MaxInflight, o.TargetLatency))
 	}
 	if o.CacheSize > 0 {
 		s.cache = newLRUCache(o.CacheSize)
 	}
+	if o.Chaos != nil {
+		s.chaos.Store(o.Chaos)
+	}
 	return s
 }
+
+// SetChaos swaps the serve-path fault injector at runtime (nil turns
+// chaos off). In-flight requests keep the injector they loaded at
+// entry. The chaos e2e harness uses this to model fault recovery.
+func (s *Server) SetChaos(c *Chaos) { s.chaos.Store(c) }
+
+// Chaos returns the currently armed injector (nil when chaos is off).
+func (s *Server) ChaosState() *Chaos { return s.chaos.Load() }
 
 // Load installs a parsed snapshot as the serving artifact.
 func (s *Server) Load(snap *snapshot.Snapshot, path string) *Artifact {
@@ -176,12 +222,24 @@ func (s *Server) LoadFile(path string) (*Artifact, error) {
 	return s.Load(snap, path), nil
 }
 
+// ErrReloadRolledBack is the typed result of a reload whose swapped-in
+// snapshot failed post-swap validation: the server auto-reverted to the
+// pinned last-known-good artifact. Match with errors.Is.
+var ErrReloadRolledBack = errors.New("serve: reload rolled back to last-known-good artifact")
+
 // Reload re-reads the current artifact's file and hot-swaps to it. The
 // swap happens only after the new artifact fully parses and validates;
 // on any error — including a snapshot corrupted on disk since the last
 // load — the old artifact keeps serving and the typed snapshot error is
 // returned. In-flight requests that started before the swap finish on
 // the artifact they loaded at entry.
+//
+// The previously serving artifact stays pinned as last-known-good: if
+// the swapped-in snapshot fails validation once live (a structural
+// check the decode layer cannot see, or the reload-fail chaos point),
+// the server auto-reverts to the pinned artifact, counts the rollback
+// in eyeball_serve_reload_rollbacks_total, and returns an error
+// matching ErrReloadRolledBack.
 func (s *Server) Reload() (*Artifact, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -194,9 +252,48 @@ func (s *Server) Reload() (*Artifact, error) {
 		s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "error").Inc()
 		return nil, err
 	}
+	s.reloadSeq++
 	a := s.install(snap, cur.Path)
+	if err := s.verifyLive(a); err != nil {
+		// Roll back: re-point at the pinned last-known-good artifact.
+		// Requests that grabbed the bad artifact mid-flight finish on
+		// it (the standard hot-swap discipline); everything after the
+		// revert serves from the pinned one.
+		s.art.Store(cur)
+		s.opts.Obs.Gauge("eyeball_serve_snapshot_generation").Set(float64(cur.Gen))
+		s.opts.Obs.Gauge("eyeball_serve_snapshot_ases").Set(float64(len(cur.Snap.Dataset.Order)))
+		s.opts.Obs.Counter("eyeball_serve_reload_rollbacks_total").Inc()
+		s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "rollback").Inc()
+		return nil, fmt.Errorf("%w (generation %d still serving): %v", ErrReloadRolledBack, cur.Gen, err)
+	}
 	s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "ok").Inc()
 	return a, nil
+}
+
+// verifyLive runs the post-swap validation pass over a just-installed
+// artifact: the structural invariants decode alone cannot rule out —
+// plus the reload-fail chaos point, which models exactly this class of
+// "valid bytes, broken artifact" failure.
+func (s *Server) verifyLive(a *Artifact) error {
+	if s.chaos.Load().reloadFails(s.reloadSeq) {
+		return fmt.Errorf("chaos: injected reload validation failure (attempt %d)", s.reloadSeq)
+	}
+	ds := a.Snap.Dataset
+	for i, asn := range ds.Order {
+		rec := ds.ASes[asn]
+		if rec == nil {
+			return fmt.Errorf("serve: artifact order lists AS%d with no record", asn)
+		}
+		if i > 0 && ds.Order[i-1] >= asn {
+			return fmt.Errorf("serve: artifact AS order not strictly ascending at AS%d", asn)
+		}
+	}
+	if f := ds.Funnel; f != nil {
+		if err := f.Check(); err != nil {
+			return fmt.Errorf("serve: artifact funnel ledger inconsistent: %w", err)
+		}
+	}
+	return nil
 }
 
 // Artifact returns the currently serving artifact (nil before Load).
@@ -238,21 +335,25 @@ func (s *Server) Handler() http.Handler {
 }
 
 // statusWriter records the response code and size for instrumentation,
-// and carries the request's root span to handlers (spanOf) without a
-// context hop on the hot path.
+// and carries the request's root span and outcome to the middleware
+// layers (spanOf) without a context hop on the hot path.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
-	n    int
-	span *trace.Span
+	code    int
+	n       int
+	wrote   bool // a header (explicit or implicit) reached the wire
+	outcome string
+	span    *trace.Span
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.n += n
 	return n, err
@@ -267,19 +368,20 @@ func spanOf(w http.ResponseWriter) *trace.Span {
 	return nil
 }
 
-// instrument wraps a handler with the serving discipline: load shedding
-// (when limited), the per-request deadline, request/latency metrics,
-// and — when configured — the request-scoped trace and the structured
-// access-log line. The three records of one request (trace, log line,
-// metrics) are emitted from the same deferred block over the same
-// statusWriter state, so they cannot disagree about status or outcome.
+// instrument wraps a handler with the serving discipline, innermost to
+// outermost per request: chaos injection (when armed), adaptive load
+// shedding (when limited), the per-request deadline, panic recovery,
+// request/latency metrics, and — when configured — the request-scoped
+// trace and the structured access-log line. The three records of one
+// request (trace, log line, metrics) are emitted from the same
+// deferred block over the same statusWriter state, so they cannot
+// disagree about status or outcome.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
 	hist := s.opts.Obs.Histogram("eyeball_serve_latency_seconds", obs.LatencyBuckets(), "endpoint", endpoint)
 	spanName := "serve." + endpoint
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, outcome: "ok"}
 		start := time.Now()
-		outcome := "ok"
 		if s.opts.Tracer != nil {
 			// Direct map index under the canonical key (the server
 			// canonicalizes inbound header names): Header.Get with a
@@ -291,20 +393,24 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			sw.span = s.opts.Tracer.StartAt(spanName, start, traceparent)
 			sw.span.SetStr("route", endpoint)
 		}
+		// Deferred stack, LIFO: the limiter release (armed below) runs
+		// first, panic recovery second — so a recovered panic has its
+		// 500 in place — and this metrics/log/span block runs last,
+		// reading the final statusWriter state.
 		defer func() {
 			dur := time.Since(start)
 			switch sw.code {
 			case http.StatusGatewayTimeout:
-				outcome = "timeout"
+				sw.outcome = "timeout"
 				s.opts.Obs.Counter("eyeball_serve_timeouts_total", "endpoint", endpoint).Inc()
 			default:
-				if sw.code >= 500 && outcome == "ok" {
-					outcome = "error"
+				if sw.code >= 500 && sw.outcome == "ok" {
+					sw.outcome = "error"
 				}
 			}
 			if sw.span != nil {
 				sw.span.SetInt("status", int64(sw.code))
-				sw.span.SetStr("outcome", outcome)
+				sw.span.SetStr("outcome", sw.outcome)
 				sw.span.SetInt("bytes", int64(sw.n))
 				sw.span.EndAt(start.Add(dur))
 				hist.ObserveExemplar(dur.Seconds(), sw.span)
@@ -314,23 +420,40 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			s.opts.Obs.Counter("eyeball_serve_requests_total",
 				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
 			if s.opts.AccessLog != nil {
-				s.logRequest(r, sw, endpoint, outcome, dur)
+				s.logRequest(r, sw, endpoint, sw.outcome, dur)
 			}
 		}()
+		defer s.recoverPanic(sw, endpoint)
 
-		if limited && s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			default:
-				outcome = "shed"
+		d := decision{idx: -1}
+		var chaos *Chaos
+		if limited {
+			if chaos = s.chaos.Load(); chaos != nil {
+				d = chaos.decide()
+				if s.applyPre(chaos, d, sw, endpoint) {
+					return
+				}
+			}
+		}
+		if limited && s.lim != nil {
+			ok, retryAfter := s.lim.acquire()
+			if !ok {
+				sw.outcome = "shed"
 				s.opts.Obs.Counter("eyeball_serve_shed_total", "endpoint", endpoint).Inc()
-				sw.Header().Set("Retry-After", "1")
+				sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 				writeJSON(sw, http.StatusServiceUnavailable, map[string]any{
 					"error": "overloaded: in-flight request limit reached",
 				})
 				return
 			}
+			admitted := time.Now()
+			defer func() {
+				now := time.Now()
+				s.lim.release(now.Sub(admitted), now.UnixNano())
+			}()
+		}
+		if chaos != nil {
+			s.applySlow(chaos, d, sw)
 		}
 		if s.opts.Timeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
@@ -339,6 +462,33 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		}
 		h(sw, r)
 	})
+}
+
+// recoverPanic is the panic-containment layer: any handler panic —
+// injected by the serve-panic chaos point or genuine — is converted
+// into a 500 (when nothing has reached the wire yet), a metric, and a
+// flight-recorder event on the request's span; the process survives.
+// http.ErrAbortHandler is re-raised: it is the stdlib contract for
+// severing the connection without a response, and both the serve-drop
+// chaos point and deliberate aborts rely on it.
+func (s *Server) recoverPanic(sw *statusWriter, endpoint string) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if rec == http.ErrAbortHandler {
+		panic(rec)
+	}
+	s.opts.Obs.Counter("eyeball_serve_panics_total", "endpoint", endpoint).Inc()
+	sw.span.AddEvent(fmt.Sprintf("panic recovered: %v", rec))
+	sw.outcome = "panic"
+	if !sw.wrote {
+		writeError(sw, http.StatusInternalServerError, "internal error: handler panicked: %v", rec)
+	} else if sw.code < http.StatusInternalServerError {
+		// The response already started; the status on the wire cannot
+		// change, but the records of the request must not claim success.
+		sw.code = http.StatusInternalServerError
+	}
 }
 
 // logRequest emits the request's structured access-log line. One line
@@ -540,6 +690,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		resp := map[string]any{"error": err.Error()}
 		if cur != nil {
 			resp["generation"] = cur.Gen // still serving this one
+		}
+		if errors.Is(err, ErrReloadRolledBack) {
+			resp["rolled_back"] = true
 		}
 		writeJSON(w, http.StatusInternalServerError, resp)
 		return

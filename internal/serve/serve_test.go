@@ -20,6 +20,7 @@ import (
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/geo"
 	"eyeballas/internal/ipnet"
+	"eyeballas/internal/leakcheck"
 	"eyeballas/internal/obs"
 	"eyeballas/internal/p2p"
 	"eyeballas/internal/pipeline"
@@ -305,17 +306,21 @@ func TestFootprintConcurrentIdentical(t *testing.T) {
 }
 
 func TestLoadShedding(t *testing.T) {
+	defer leakcheck.Check(t)()
 	reg := obs.New()
 	s, _, _ := newTestServer(t, Options{MaxInflight: 1, Obs: reg})
 	h := s.Handler()
 
 	// Occupy the single slot directly (white box), then request.
-	s.sem <- struct{}{}
+	if ok, _ := s.lim.acquire(); !ok {
+		t.Fatal("could not occupy the only slot")
+	}
 	rec := get(t, h, "/v1/as/64500")
-	<-s.sem
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("expected shed 503, got %d", rec.Code)
 	}
+	// Cold server: no drain-rate estimate yet, so Retry-After is the
+	// optimistic floor. (limiter_test.go pins the derived values.)
 	if ra := rec.Header().Get("Retry-After"); ra != "1" {
 		t.Errorf("Retry-After = %q, want 1", ra)
 	}
@@ -323,13 +328,12 @@ func TestLoadShedding(t *testing.T) {
 		t.Errorf("shed counter = %d, want 1", n)
 	}
 
-	// healthz is exempt from the limiter.
-	s.sem <- struct{}{}
+	// healthz is exempt from the limiter (slot still occupied).
 	rec = get(t, h, "/healthz")
-	<-s.sem
 	if rec.Code != http.StatusOK {
 		t.Errorf("healthz shed: %d", rec.Code)
 	}
+	s.lim.release(time.Millisecond, time.Now().UnixNano())
 
 	// Slot free again → served.
 	if rec := get(t, h, "/v1/as/64500"); rec.Code != http.StatusOK {
@@ -338,6 +342,7 @@ func TestLoadShedding(t *testing.T) {
 }
 
 func TestRequestTimeout(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// A 1ns deadline cancels the KDE render at its first block check.
 	s, _, _ := newTestServer(t, Options{Timeout: time.Nanosecond})
 	rec := get(t, s.Handler(), "/v1/footprint/64500")

@@ -179,9 +179,11 @@ func TestShedTripleAgreement(t *testing.T) {
 	s, rec, reg := tracedServer(t, &logBuf, Options{MaxInflight: 1})
 	h := s.Handler()
 
-	s.sem <- struct{}{} // occupy the only slot
+	if ok, _ := s.lim.acquire(); !ok { // occupy the only slot
+		t.Fatal("could not occupy the only slot")
+	}
 	w := getWithHeader(t, h, "/v1/as/64500", testTraceparent)
-	<-s.sem
+	s.lim.release(time.Millisecond, time.Now().UnixNano())
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("expected shed 503, got %d", w.Code)
 	}

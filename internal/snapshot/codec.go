@@ -41,10 +41,13 @@ func Write(w io.Writer, s *Snapshot) error {
 	return err
 }
 
-// WriteFile atomically is not attempted; it writes the rendered
-// artifact to path with 0644 permissions.
+// WriteFile writes the rendered artifact to path with 0644
+// permissions. Since the crash-safe publish work it delegates to
+// WriteFileAtomic: the artifact appears atomically (temp file + fsync
+// + rename), so a crash or concurrent reload never observes a torn
+// snapshot.
 func WriteFile(path string, s *Snapshot) error {
-	return os.WriteFile(path, Encode(s), 0o644)
+	return WriteFileAtomic(path, s)
 }
 
 func encodeMeta(m Meta) []byte {

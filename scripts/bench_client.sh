@@ -1,0 +1,76 @@
+#!/bin/sh
+# bench_client.sh — benchmark the resilient client and the chaos-off
+# serve path, and emit BENCH_pr9.json. Two gates:
+#
+#   1. Client overhead: BenchmarkClientLookup (full resilience stack —
+#      retry budget, breaker, backoff plumbing) vs BenchmarkDirectLookup
+#      (bare net/http, identical request, same loopback server). The
+#      happy path must stay within 1.05x of direct — the resilience
+#      machinery is bookkeeping around a round trip, not a tax on it.
+#
+#   2. Chaos-off middleware: with no chaos armed the serve path takes a
+#      single nil-pointer branch, so BenchmarkLookup's allocations must
+#      hold at the PR8 baseline (44 allocs/op) — zero extra allocs from
+#      the injection middleware.
+#
+# Usage: scripts/bench_client.sh [output.json]
+#   BENCHTIME=0.2s scripts/bench_client.sh     # quicker CI smoke
+set -eu
+out="${1:-BENCH_pr9.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkClientLookup$|BenchmarkDirectLookup$' \
+  -benchmem -benchtime "$benchtime" ./internal/client/ | tee "$tmp"
+
+# GOMAXPROCS=1 matches the conditions the PR8 baseline was recorded
+# under, so the alloc count is comparable bench-to-bench.
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'BenchmarkLookup$' \
+  -benchmem -benchtime "$benchtime" ./internal/serve/ | tee -a "$tmp"
+
+# PR8 recorded BenchmarkLookup at 44 allocs/op (full HTTP dispatch
+# through the instrumented mux, httptest recorder included). The chaos
+# middleware must not move that number when no plan is armed.
+alloc_baseline=44
+ratio_max=1.05
+
+awk -v alloc_baseline="$alloc_baseline" -v ratio_max="$ratio_max" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; bop[name] = $5; aop[name] = $7; order[n++] = name
+  }
+  END {
+    if (n < 3) { print "benchmark output not parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"pr\": 9,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+        order[i], ns[order[i]], bop[order[i]], aop[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    ratio = ns["BenchmarkClientLookup"] / ns["BenchmarkDirectLookup"]
+    lookup_allocs = aop["BenchmarkLookup"] + 0
+    printf "  \"gate\": {\n"
+    printf "    \"client_vs_direct_ratio\": %.4f,\n", ratio
+    printf "    \"client_vs_direct_ratio_max\": %.2f,\n", ratio_max
+    printf "    \"client_overhead_ok\": %s,\n", (ratio <= ratio_max ? "true" : "false")
+    printf "    \"chaos_off_lookup_allocs\": %d,\n", lookup_allocs
+    printf "    \"chaos_off_lookup_allocs_max\": %d,\n", alloc_baseline
+    printf "    \"chaos_off_alloc_ok\": %s\n", (lookup_allocs <= alloc_baseline ? "true" : "false")
+    printf "  }\n"
+    printf "}\n"
+  }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
+if ! grep -q '"client_overhead_ok": true' "$out"; then
+  echo "resilient client exceeds 1.05x the direct net/http round trip" >&2
+  exit 1
+fi
+if ! grep -q '"chaos_off_alloc_ok": true' "$out"; then
+  echo "chaos-off serve path allocates above the PR8 baseline" >&2
+  exit 1
+fi
