@@ -17,6 +17,9 @@
 //	as <asn>             GET /v1/as/{asn}, print the body
 //	lookup <ip>          GET /v1/lookup?ip=<ip>, print the body
 //	footprint <asn>      GET /v1/footprint/{asn} (-bw overrides km)
+//	footprints <a,b,c>   GET /v1/footprints bulk: one JSON line per AS,
+//	                     in request order, per-AS errors inline (-bw
+//	                     overrides km; batches of 64 per request)
 //	reload               POST /-/reload, print the result
 //	drill <path>...      issue -n requests round-robin over the given
 //	                     paths, classify every outcome, and print a
@@ -42,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -120,6 +124,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			path += fmt.Sprintf("?bw=%g", *bw)
 		}
 		return printGet(ctx, stdout, opts, *url, *timeout, path)
+	case "footprints":
+		asns, err := argASNList(rest)
+		if err != nil {
+			return err
+		}
+		c := client.New(*url, opts)
+		cctx, cancel := context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		lines, err := c.Footprints(cctx, asns, *bw)
+		if err != nil {
+			return err
+		}
+		for _, line := range lines {
+			if _, err := stdout.Write(line); err != nil {
+				return err
+			}
+		}
+		return nil
 	case "reload":
 		c := client.New(*url, opts)
 		cctx, cancel := context.WithTimeout(ctx, *timeout)
@@ -146,6 +168,24 @@ func argASN(rest []string) (int, error) {
 	return asn, nil
 }
 
+// argASNList parses the footprints argument: one comma-separated list
+// of ASNs ("64500,64501,99999").
+func argASNList(rest []string) ([]int, error) {
+	if len(rest) != 1 {
+		return nil, errors.New("usage: footprints <asn[,asn...]>")
+	}
+	parts := strings.Split(rest[0], ",")
+	asns := make([]int, 0, len(parts))
+	for _, p := range parts {
+		asn, err := strconv.Atoi(p)
+		if err != nil || asn < 0 {
+			return nil, fmt.Errorf("bad ASN %q in %q", p, rest[0])
+		}
+		asns = append(asns, asn)
+	}
+	return asns, nil
+}
+
 func printGet(ctx context.Context, stdout io.Writer, opts client.Options, url string, timeout time.Duration, path string) error {
 	c := client.New(url, opts)
 	cctx, cancel := context.WithTimeout(ctx, timeout)
@@ -160,13 +200,21 @@ func printGet(ctx context.Context, stdout io.Writer, opts client.Options, url st
 
 // drillReport is the JSON the drill command emits: per-class outcome
 // counts plus the client-side view of the server's fault injections.
+// Bulk-footprint paths (/v1/footprints) additionally classify their
+// newline-delimited bodies line by line: BulkLines counts per-AS lines
+// received, BulkInlineErrors the lines that carried the server's
+// inline error payload (unknown AS, render failure) — a bulk request
+// counts as OK even when some of its lines are inline errors, exactly
+// matching the endpoint's contract.
 type drillReport struct {
-	Requests     int            `json:"requests"`
-	OK           int            `json:"ok"`
-	TypedErrors  map[string]int `json:"typed_errors"`
-	Unclassified int            `json:"unclassified"`
-	Attempts     int            `json:"attempts"`
-	Observed     map[string]int `json:"observed_injections"`
+	Requests         int            `json:"requests"`
+	OK               int            `json:"ok"`
+	TypedErrors      map[string]int `json:"typed_errors"`
+	Unclassified     int            `json:"unclassified"`
+	Attempts         int            `json:"attempts"`
+	Observed         map[string]int `json:"observed_injections"`
+	BulkLines        int            `json:"bulk_lines,omitempty"`
+	BulkInlineErrors int            `json:"bulk_inline_errors,omitempty"`
 }
 
 func drill(ctx context.Context, stdout io.Writer, opts client.Options, url string, timeout time.Duration, n int, paths []string) error {
@@ -198,11 +246,16 @@ func drill(ctx context.Context, stdout io.Writer, opts client.Options, url strin
 	for i := 0; i < n; i++ {
 		path := paths[i%len(paths)]
 		cctx, cancel := context.WithTimeout(ctx, timeout)
-		_, err := c.Get(cctx, path)
+		body, err := c.Get(cctx, path)
 		cancel()
 		switch {
 		case err == nil:
 			rep.OK++
+			if strings.HasPrefix(path, "/v1/footprints") {
+				lines, inlineErrs := classifyBulk(body)
+				rep.BulkLines += lines
+				rep.BulkInlineErrors += inlineErrs
+			}
 		case errors.Is(err, client.ErrNotFound):
 			rep.TypedErrors["not_found"]++
 		case errors.Is(err, client.ErrOverloaded):
@@ -239,4 +292,23 @@ func drill(ctx context.Context, stdout io.Writer, opts client.Options, url strin
 func isAPIError(err error) bool {
 	var api *client.APIError
 	return errors.As(err, &api)
+}
+
+// classifyBulk scans a bulk-footprints body: one JSON object per line,
+// error lines carrying exactly the single endpoint's {"error": ...}
+// payload.
+func classifyBulk(body []byte) (lines, inlineErrs int) {
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var m struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err == nil && m.Error != "" {
+			inlineErrs++
+		}
+	}
+	return lines, inlineErrs
 }

@@ -7,6 +7,7 @@
 //	eyeballserve -snap dataset.snap [-addr :8080] [-timeout 5s]
 //	             [-max-inflight N] [-target-latency D] [-cache N]
 //	             [-bw KM] [-workers N]
+//	             [-warm] [-warm-workers N] [-warm-budget D]
 //	             [-print-footprint ASN] [-log-format json|text]
 //	             [-tracing=false] [-trace-recent N] [-trace-slow D]
 //	             [-trace-seed N]
@@ -19,6 +20,7 @@
 //	GET  /v1/as/{asn}          classification record for one AS
 //	GET  /v1/lookup?ip=a.b.c.d origin AS of an address
 //	GET  /v1/footprint/{asn}   PoP-level footprint (?bw= overrides km)
+//	GET  /v1/footprints?asns=  bulk footprints, one JSON line per AS
 //	POST /-/reload             hot-swap to the re-read artifact file
 //	GET  /debug/requests       flight recorder: recent request traces
 //	GET  /debug/requests/slow  flight recorder: slow captures
@@ -118,6 +120,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cacheSize := fs.Int("cache", 128, "rendered-footprint LRU capacity in entries (-1 disables)")
 	bw := fs.Float64("bw", 40, "default footprint kernel bandwidth in km (per-request ?bw= overrides)")
 	workers := fs.Int("workers", 1, "KDE workers per footprint render")
+	warm := fs.Bool("warm", false, "prewarm the footprint cache: render every dataset AS at the default bandwidth (descending user count) on startup and after every reload")
+	warmWorkers := fs.Int("warm-workers", 1, "concurrent warm renders (the warmer's low-priority semaphore)")
+	warmBudget := fs.Duration("warm-budget", 0, "wall-time bound per warm pass (0 = unbounded)")
 	printFootprint := fs.Int("print-footprint", 0, "render this AS's footprint JSON to stdout and exit (no server)")
 	logFormat := fs.String("log-format", "json", "structured log encoding: json or text")
 	tracing := fs.Bool("tracing", true, "record request-scoped traces (flight recorder + /debug endpoints)")
@@ -177,15 +182,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheSize:     *cacheSize,
 		BandwidthKm:   *bw,
 		Workers:       *workers,
+		Warm:          *warm,
+		WarmWorkers:   *warmWorkers,
+		WarmBudget:    *warmBudget,
 		TargetLatency: *targetLatency,
 		Chaos:         chaos,
 		Obs:           reg,
 		Tracer:        tracer,
 		AccessLog:     logger,
 	})
+	defer srv.Close() // stops the background warmer before the metrics snapshot
 	art, err := srv.LoadFile(*snapPath)
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", *snapPath, err)
+	}
+	if *warm {
+		logger.LogAttrs(ctx, slog.LevelInfo, "warming footprint cache",
+			slog.Int("ases", len(art.Snap.Dataset.Order)),
+			slog.Int("workers", *warmWorkers),
+			slog.Duration("budget", *warmBudget))
 	}
 	ds := art.Snap.Dataset
 	logger.LogAttrs(ctx, slog.LevelInfo, "loaded snapshot",

@@ -17,6 +17,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -225,16 +226,109 @@ func (c *Client) Lookup(ctx context.Context, ip string) (*LookupResult, error) {
 	return decodeInto[LookupResult]("lookup", body)
 }
 
+// MaxBandwidthKm mirrors the server's bandwidth ceiling
+// (serve.MaxBandwidthKm — a test pins the two constants equal): a
+// ?bw= outside (0, MaxBandwidthKm] would only earn a 400 from the
+// server, so the client rejects it before the wire. NaN and ±Inf fail
+// the same envelope — this client used to happily format ?bw=+Inf.
+const MaxBandwidthKm = 5000
+
+// validBW reports whether bw is inside the request envelope: 0 (use
+// the server default) or a finite value in (0, MaxBandwidthKm].
+func validBW(bw float64) bool {
+	return bw == 0 || (bw > 0 && bw <= MaxBandwidthKm)
+}
+
+// errBadBW builds the client-side rejection for an out-of-envelope
+// bandwidth. NaN, ±Inf, negatives, and > MaxBandwidthKm all land here.
+func errBadBW(bw float64) error {
+	return fmt.Errorf("client: bad bandwidth %g (want 0 for server default, or 0 < bw <= %d km)", bw, MaxBandwidthKm)
+}
+
 // Footprint fetches an AS's PoP-level footprint as the server's
 // canonical JSON bytes, unparsed — byte-for-byte comparable across
-// servers, which the chaos harness exploits. bw <= 0 uses the
-// server's default bandwidth.
+// servers, which the chaos harness exploits. bw 0 uses the server's
+// default bandwidth; anything else must be finite and in
+// (0, MaxBandwidthKm], mirroring the server's own validation.
 func (c *Client) Footprint(ctx context.Context, asn int, bw float64) ([]byte, error) {
+	if !validBW(bw) {
+		return nil, errBadBW(bw)
+	}
 	path := fmt.Sprintf("/v1/footprint/%d", asn)
 	if bw > 0 {
 		path += fmt.Sprintf("?bw=%g", bw)
 	}
 	return c.call(ctx, "footprint", http.MethodGet, path)
+}
+
+// footprintsBatchSize bounds how many ASNs one bulk request carries;
+// larger requests are split into sequential batches, results
+// concatenated in order.
+const footprintsBatchSize = 64
+
+// Footprints fetches many ASes' footprints through the server's bulk
+// endpoint (GET /v1/footprints), batching footprintsBatchSize ASNs per
+// request. The result has exactly one entry per requested ASN, in
+// request order; each entry is the raw line the server streamed —
+// byte-identical to what Footprint would have returned for that AS,
+// including the trailing newline, with per-AS errors (unknown AS,
+// render failure) arriving inline as the server's JSON error payload
+// rather than failing the whole batch. Only whole-request failures
+// (transport, shed, bad input) return an error.
+func (c *Client) Footprints(ctx context.Context, asns []int, bw float64) ([][]byte, error) {
+	if !validBW(bw) {
+		return nil, errBadBW(bw)
+	}
+	if len(asns) == 0 {
+		return nil, fmt.Errorf("client: footprints: no ASNs given")
+	}
+	for _, asn := range asns {
+		if asn < 0 {
+			return nil, fmt.Errorf("client: footprints: bad ASN %d", asn)
+		}
+	}
+	out := make([][]byte, 0, len(asns))
+	for start := 0; start < len(asns); start += footprintsBatchSize {
+		batch := asns[start:min(start+footprintsBatchSize, len(asns))]
+		var sb strings.Builder
+		sb.WriteString("/v1/footprints?asns=")
+		for i, asn := range batch {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(asn))
+		}
+		if bw > 0 {
+			fmt.Fprintf(&sb, "&bw=%g", bw)
+		}
+		body, err := c.call(ctx, "footprint", http.MethodGet, sb.String())
+		if err != nil {
+			return nil, err
+		}
+		lines := splitLines(body)
+		if len(lines) != len(batch) {
+			return nil, fmt.Errorf("client: footprints: server returned %d lines for %d ASNs", len(lines), len(batch))
+		}
+		out = append(out, lines...)
+	}
+	return out, nil
+}
+
+// splitLines cuts a newline-delimited body into lines, each keeping
+// its trailing newline (the server terminates every line, so a
+// well-formed body splits exactly).
+func splitLines(body []byte) [][]byte {
+	var lines [][]byte
+	for len(body) > 0 {
+		i := bytes.IndexByte(body, '\n')
+		if i < 0 {
+			lines = append(lines, body)
+			break
+		}
+		lines = append(lines, body[:i+1])
+		body = body[i+1:]
+	}
+	return lines
 }
 
 // ReloadResult is the POST /-/reload response.
@@ -269,7 +363,8 @@ func endpointOf(path string) string {
 		return "as"
 	case strings.HasPrefix(path, "/v1/lookup"):
 		return "lookup"
-	case strings.HasPrefix(path, "/v1/footprint/"):
+	case strings.HasPrefix(path, "/v1/footprint/"),
+		strings.HasPrefix(path, "/v1/footprints"):
 		return "footprint"
 	case strings.HasPrefix(path, "/-/reload"):
 		return "reload"

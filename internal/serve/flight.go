@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent footprint renders for the same
+// cacheKey into a single execution — the singleflight discipline. The
+// first goroutine to join a key becomes the leader and must render and
+// complete the call; every goroutine that joins while the call is in
+// flight becomes a waiter and blocks on the leader's result (or its
+// typed error), honoring its own context deadline.
+//
+// The group holds only in-flight calls: complete removes the key
+// before closing the done channel, so a goroutine arriving after
+// completion starts a fresh call (whose cache lookup will hit the
+// just-inserted entry). Nothing here retains bodies past the call —
+// retention is the LRU's job.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+// flightCall is one in-flight render. body and err are written exactly
+// once, before done is closed; the channel close is the happens-before
+// edge that publishes them to waiters.
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+
+	// waiters counts goroutines that joined this call after its leader —
+	// a diagnostic the coalescing tests poll so they release the render
+	// only once every concurrent requester is parked on done.
+	waiters atomic.Int32
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+}
+
+// join returns the call for key and whether the caller is its leader.
+// A leader must call complete exactly once, on every path including
+// render failure — an abandoned call would park its waiters forever.
+func (g *flightGroup) join(key cacheKey) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the leader's result and releases the waiters. The
+// key is removed before the close so late arrivals lead a new call
+// instead of observing a finished one.
+func (g *flightGroup) complete(key cacheKey, c *flightCall, body []byte, err error) {
+	c.body, c.err = body, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// wait blocks until the call completes or ctx expires, whichever comes
+// first. A waiter that abandons the call does not affect the leader or
+// the other waiters.
+func (c *flightCall) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+		return c.body, c.err
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"eyeballas/internal/astopo"
+	"eyeballas/internal/obs"
 )
 
 // cacheKey identifies one rendered footprint. The snapshot generation
@@ -21,23 +22,36 @@ type cacheKey struct {
 // bytes. Values are immutable once inserted (handlers write the slice
 // to the response without copying), which is what makes the shared
 // reference safe under concurrent readers.
+//
+// The bound is on entries, not bytes — footprint bodies are a few KiB
+// each, so entries is the natural capacity unit — but the cache keeps
+// exact byte accounting and publishes both through the entries/bytes
+// gauges so the actual heap held by the cache is visible, not inferred.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
+	bytes int64      // Σ len(val) over live entries
 	order *list.List // front = most recent; values are *cacheEntry
 	items map[cacheKey]*list.Element
+
+	// entriesG/bytesG mirror the entry count and byte total to obs
+	// gauges (nil-safe no-ops when metrics are off). Updated under mu,
+	// so the two gauges never disagree with each other.
+	entriesG *obs.Gauge
+	bytesG   *obs.Gauge
 }
 
-type cacheEntry struct {
-	key cacheKey
-	val []byte
-}
-
-func newLRUCache(max int) *lruCache {
+func newLRUCache(max int, entriesG, bytesG *obs.Gauge) *lruCache {
 	if max <= 0 {
 		return nil // nil cache: every lookup misses, every add is a no-op
 	}
-	return &lruCache{max: max, order: list.New(), items: make(map[cacheKey]*list.Element, max)}
+	return &lruCache{
+		max:      max,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element, max),
+		entriesG: entriesG,
+		bytesG:   bytesG,
+	}
 }
 
 func (c *lruCache) get(k cacheKey) ([]byte, bool) {
@@ -54,6 +68,11 @@ func (c *lruCache) get(k cacheKey) ([]byte, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+type cacheEntry struct {
+	key cacheKey
+	val []byte
+}
+
 func (c *lruCache) add(k cacheKey, v []byte) {
 	if c == nil {
 		return
@@ -62,16 +81,28 @@ func (c *lruCache) add(k cacheKey, v []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).val = v
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(v)) - int64(len(e.val))
+		e.val = v
+		c.publishLocked()
 		return
 	}
 	el := c.order.PushFront(&cacheEntry{key: k, val: v})
 	c.items[k] = el
+	c.bytes += int64(len(v))
 	if c.order.Len() > c.max {
 		tail := c.order.Back()
 		c.order.Remove(tail)
-		delete(c.items, tail.Value.(*cacheEntry).key)
+		e := tail.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
 	}
+	c.publishLocked()
+}
+
+func (c *lruCache) publishLocked() {
+	c.entriesG.Set(float64(c.order.Len()))
+	c.bytesG.Set(float64(c.bytes))
 }
 
 // len reports the number of cached entries (diagnostic).
@@ -82,4 +113,14 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// size reports the total bytes held by cached bodies (diagnostic).
+func (c *lruCache) size() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -68,6 +68,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,7 @@ import (
 	"eyeballas/internal/gazetteer"
 	"eyeballas/internal/ipnet"
 	"eyeballas/internal/obs"
+	"eyeballas/internal/pipeline"
 	"eyeballas/internal/snapshot"
 	"eyeballas/internal/trace"
 )
@@ -103,6 +105,22 @@ type Options struct {
 	// BandwidthKm is the footprint bandwidth used when a request does
 	// not pass ?bw= (default 40, the paper's kernel).
 	BandwidthKm float64
+	// Warm enables the background footprint warmer: after every
+	// artifact install (startup load, reload, rollback) a Warmer
+	// renders every dataset AS at the default bandwidth in descending
+	// user-count order, so steady-state traffic starts on a hot cache
+	// instead of a 504 storm. The warmer is cancelled by the next swap
+	// and by Close.
+	Warm bool
+	// WarmWorkers bounds concurrent warm renders (default 1). This is
+	// the warmer's low-priority semaphore: warm renders bypass the
+	// admission limiter entirely but pause while live traffic holds a
+	// significant share of the admission limit.
+	WarmWorkers int
+	// WarmBudget bounds one warm pass's wall time (0 = unbounded). A
+	// pass that exhausts its budget stops where it is; the cache keeps
+	// whatever was rendered.
+	WarmBudget time.Duration
 	// Workers is the KDE worker count per footprint render (default 1;
 	// renders are already request-parallel).
 	Workers int
@@ -138,6 +156,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers == 0 {
 		o.Workers = 1
 	}
+	if o.WarmWorkers <= 0 {
+		o.WarmWorkers = 1
+	}
 	if o.Gaz == nil {
 		o.Gaz = gazetteer.Default()
 	}
@@ -159,32 +180,67 @@ type Server struct {
 	opts Options
 	art  atomic.Pointer[Artifact]
 
-	lim   *limiter
-	cache *lruCache
-	chaos atomic.Pointer[Chaos]
+	lim    *limiter
+	cache  *lruCache
+	flight *flightGroup
+	chaos  atomic.Pointer[Chaos]
+
+	// render is the footprint-render seam: RenderFootprint in
+	// production, an instrumented hook in tests that count or stall
+	// renders. Every render — handler leader, bulk line, warm pass —
+	// goes through it.
+	render renderFunc
 
 	// reloadMu serializes Load/Reload so two concurrent reloads cannot
 	// interleave generation assignment; readers never take it.
 	reloadMu  sync.Mutex
 	nextGen   uint64
 	reloadSeq uint64
+
+	// warmMu guards the warmer lifecycle: at most one warm pass runs at
+	// a time, the next swap cancels the previous pass before starting
+	// its own, and Close cancels whatever is running.
+	warmMu sync.Mutex
+	warm   *Warmer
+	closed bool
 }
+
+// renderFunc is the signature of the footprint renderer the server
+// dispatches to (RenderFootprint unless a test overrides it).
+type renderFunc func(ctx context.Context, gaz *gazetteer.Gazetteer, rec *pipeline.ASRecord, bwKm float64, workers int, reg *obs.Registry) ([]byte, error)
 
 // New creates a server with no artifact installed (healthz reports 503
 // until Load succeeds).
 func New(opts Options) *Server {
 	o := opts.withDefaults()
-	s := &Server{opts: o}
+	s := &Server{opts: o, flight: newFlightGroup(), render: RenderFootprint}
 	if o.MaxInflight > 0 {
 		s.lim = newLimiter(DefaultController(o.MaxInflight, o.TargetLatency))
 	}
 	if o.CacheSize > 0 {
-		s.cache = newLRUCache(o.CacheSize)
+		s.cache = newLRUCache(o.CacheSize,
+			o.Obs.Gauge("eyeball_serve_footprint_cache_entries"),
+			o.Obs.Gauge("eyeball_serve_footprint_cache_bytes"))
 	}
 	if o.Chaos != nil {
 		s.chaos.Store(o.Chaos)
 	}
 	return s
+}
+
+// Close cancels the running warm pass (if any) and waits for its
+// goroutines to exit. The server keeps answering requests — Close
+// tears down background work, not the handler — but no further warm
+// passes start. Idempotent.
+func (s *Server) Close() {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	s.closed = true
+	if s.warm != nil {
+		s.warm.cancel()
+		<-s.warm.done
+		s.warm = nil
+	}
 }
 
 // SetChaos swaps the serve-path fault injector at runtime (nil turns
@@ -208,6 +264,7 @@ func (s *Server) install(snap *snapshot.Snapshot, path string) *Artifact {
 	s.art.Store(a)
 	s.opts.Obs.Gauge("eyeball_serve_snapshot_generation").Set(float64(a.Gen))
 	s.opts.Obs.Gauge("eyeball_serve_snapshot_ases").Set(float64(len(snap.Dataset.Order)))
+	s.startWarm(a)
 	return a
 }
 
@@ -262,6 +319,10 @@ func (s *Server) Reload() (*Artifact, error) {
 		s.art.Store(cur)
 		s.opts.Obs.Gauge("eyeball_serve_snapshot_generation").Set(float64(cur.Gen))
 		s.opts.Obs.Gauge("eyeball_serve_snapshot_ases").Set(float64(len(cur.Snap.Dataset.Order)))
+		// Rewarm under the pinned generation: the rolled-back install
+		// started a warm pass for the bad artifact, whose cache entries
+		// are unreachable now the generation reverted.
+		s.startWarm(cur)
 		s.opts.Obs.Counter("eyeball_serve_reload_rollbacks_total").Inc()
 		s.opts.Obs.Counter("eyeball_serve_reloads_total", "result", "rollback").Inc()
 		return nil, fmt.Errorf("%w (generation %d still serving): %v", ErrReloadRolledBack, cur.Gen, err)
@@ -305,6 +366,7 @@ func (s *Server) Artifact() *Artifact { return s.art.Load() }
 //	GET  /v1/as/{asn}          classification record for one AS
 //	GET  /v1/lookup?ip=a.b.c.d origin AS of an address (compiled LPM)
 //	GET  /v1/footprint/{asn}   PoP-level footprint (?bw= overrides km)
+//	GET  /v1/footprints?asns=  bulk footprints, one JSON line per AS
 //	POST /-/reload             hot-swap to the re-read artifact file
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -312,6 +374,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/as/{asn}", s.instrument("as", true, s.handleAS))
 	mux.Handle("GET /v1/lookup", s.instrument("lookup", true, s.handleLookup))
 	mux.Handle("GET /v1/footprint/{asn}", s.instrument("footprint", true, s.handleFootprint))
+	mux.Handle("GET /v1/footprints", s.instrument("footprints", true, s.handleFootprints))
 	mux.Handle("POST /-/reload", s.instrument("reload", false, s.handleReload))
 	// Diagnostic surfaces ride outside the serving discipline: no
 	// shedding, no tracing of the trace-inspection requests themselves.
@@ -523,8 +586,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(b, '\n'))
 }
 
+// errorBody renders the canonical error payload ({"error":"..."} plus
+// trailing newline) — the exact bytes writeError puts on the wire. The
+// bulk endpoint emits these same bytes as inline per-AS lines, which
+// is what makes "bulk output == concatenated single responses" hold
+// for error cases too.
+func errorBody(format string, args ...any) []byte {
+	b, err := json.Marshal(map[string]any{"error": fmt.Sprintf(format, args...)})
+	if err != nil {
+		// A map[string]any with one string value cannot fail to marshal.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(errorBody(format, args...))
 }
 
 // artifactOr503 resolves the serving artifact once per request; every
@@ -631,6 +710,105 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// MaxBandwidthKm is the largest ?bw= the footprint endpoints accept.
+// The KDE grid covers at most an AS's sample bounding box, so a kernel
+// wider than a continent only burns CPU blurring a flat surface; 5000
+// km comfortably covers every bandwidth the paper sweeps (40–100 km)
+// and every plausible re-query (cf. the multi-scale experiments) while
+// rejecting the +Inf/1e300 class of inputs that previously slipped
+// through the v > 0 check. internal/client mirrors this bound.
+const MaxBandwidthKm = 5000
+
+// parseBW validates a ?bw= query value: it must parse as a float and
+// land in (0, MaxBandwidthKm]. NaN and ±Inf fail both comparisons —
+// the old !(v > 0) guard let +Inf through to the KDE. Returns the
+// bandwidth to use (the server default when the parameter is absent)
+// and ok=false after writing the 400 when the value is invalid.
+func (s *Server) parseBW(w http.ResponseWriter, raw string) (float64, bool) {
+	if raw == "" {
+		return s.opts.BandwidthKm, true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || !(v > 0) || !(v <= MaxBandwidthKm) {
+		writeError(w, http.StatusBadRequest, "bad bandwidth %q (want 0 < bw <= %d km)", raw, MaxBandwidthKm)
+		return 0, false
+	}
+	return v, true
+}
+
+// Cache-result labels: every footprint request that reaches the cache
+// layer increments eyeball_serve_footprint_requests_total and exactly
+// one result of eyeball_serve_footprint_cache_total — hit (served from
+// the LRU), miss (this request led the render), or coalesced (this
+// request waited on a concurrent render of the same key). The funnel
+// invariant hit + miss + coalesced == requests is pinned by tests and
+// the CI jq assert. Warm renders increment none of these: they are not
+// requests, and a live request that coalesces onto a warm-led render
+// still counts itself exactly once (as coalesced).
+const (
+	cacheHit       = "hit"
+	cacheMiss      = "miss"
+	cacheCoalesced = "coalesced"
+)
+
+// countFootprint records one live footprint request's cache funnel
+// step.
+func (s *Server) countFootprint(result string) {
+	s.opts.Obs.Counter("eyeball_serve_footprint_requests_total").Inc()
+	s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", result).Inc()
+	if result == cacheCoalesced {
+		s.opts.Obs.Counter("eyeball_serve_footprint_coalesced_total").Inc()
+	}
+}
+
+// footprint produces the response body for one (artifact, AS,
+// bandwidth) triple through the full serving discipline: LRU lookup,
+// then singleflight — the first goroutine to miss a key renders it
+// (and alone pays the KDE), concurrent misses for the same key wait on
+// that render's result under their own deadlines. Returns the body,
+// the cache result label, and the render's (or the wait's) error.
+// Bodies are immutable; callers write them to the wire uncopied.
+func (s *Server) footprint(ctx context.Context, a *Artifact, rec *pipeline.ASRecord, bw float64) ([]byte, string, error) {
+	key := cacheKey{gen: a.Gen, asn: rec.ASN, bw: math.Float64bits(bw)}
+	if body, ok := s.cache.get(key); ok {
+		return body, cacheHit, nil
+	}
+	c, leader := s.flight.join(key)
+	if !leader {
+		body, err := c.wait(ctx)
+		return body, cacheCoalesced, err
+	}
+	body, err := s.render(ctx, s.opts.Gaz, rec, bw, s.opts.Workers, s.opts.Obs)
+	if err == nil {
+		s.cache.add(key, body)
+	}
+	s.flight.complete(key, c, body, err)
+	return body, cacheMiss, err
+}
+
+// footprintBody resolves one AS to the exact bytes the single-footprint
+// endpoint would put on the wire — success body or error payload — plus
+// the HTTP status that body carries there and the cache-result label
+// ("" when the AS is not in the dataset and the cache layer was never
+// reached). The bulk endpoint streams these same bytes as lines, which
+// is what makes bulk output the concatenation of single responses,
+// byte for byte.
+func (s *Server) footprintBody(ctx context.Context, a *Artifact, asn astopo.ASN, bw float64) ([]byte, int, string) {
+	rec := a.Snap.Dataset.AS(asn)
+	if rec == nil {
+		return errorBody("AS%d not in dataset", asn), http.StatusNotFound, ""
+	}
+	body, result, err := s.footprint(ctx, a, rec, bw)
+	s.countFootprint(result)
+	if err != nil {
+		if ctx.Err() != nil {
+			return errorBody("footprint render timed out: %v", err), http.StatusGatewayTimeout, result
+		}
+		return errorBody("footprint render failed: %v", err), http.StatusInternalServerError, result
+	}
+	return body, http.StatusOK, result
+}
+
 func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	a := s.artifactOr503(w)
 	if a == nil {
@@ -640,47 +818,79 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	bw := s.opts.BandwidthKm
-	if raw := r.URL.Query().Get("bw"); raw != "" {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil || !(v > 0) {
-			writeError(w, http.StatusBadRequest, "bad bandwidth %q", raw)
+	bw, ok := s.parseBW(w, r.URL.Query().Get("bw"))
+	if !ok {
+		return
+	}
+	sp := spanOf(w)
+	sp.SetInt("asn", int64(asn))
+	sp.SetInt("generation", int64(a.Gen))
+	body, code, result := s.footprintBody(trace.NewContext(r.Context(), sp), a, asn, bw)
+	if result != "" {
+		sp.SetStr("cache", result)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	w.Write(body)
+}
+
+// maxBulkASNs bounds one bulk request's AS list; past it the request
+// is a 400, not a slow-rolling denial of service.
+const maxBulkASNs = 1024
+
+// handleFootprints is the bulk endpoint: GET /v1/footprints?asns=a,b,c
+// streams one line per requested AS, in request order, each line
+// byte-identical to the single endpoint's body for that AS — including
+// per-AS errors (unknown AS, render failure), which arrive inline as
+// the single endpoint's error payload instead of aborting the stream.
+// The response is 200 once streaming starts; only whole-request
+// problems (bad asns list, bad bw, no artifact) fail up front.
+func (s *Server) handleFootprints(w http.ResponseWriter, r *http.Request) {
+	a := s.artifactOr503(w)
+	if a == nil {
+		return
+	}
+	raw := r.URL.Query().Get("asns")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing asns query parameter (comma-separated AS numbers)")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > maxBulkASNs {
+		writeError(w, http.StatusBadRequest, "too many ASNs: %d (max %d)", len(parts), maxBulkASNs)
+		return
+	}
+	asns := make([]astopo.ASN, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad ASN %q in asns", p)
 			return
 		}
-		bw = v
+		asns = append(asns, astopo.ASN(n))
 	}
-	rec := a.Snap.Dataset.AS(asn)
-	if rec == nil {
-		writeError(w, http.StatusNotFound, "AS%d not in dataset", asn)
+	bw, ok := s.parseBW(w, r.URL.Query().Get("bw"))
+	if !ok {
 		return
 	}
 
 	sp := spanOf(w)
-	sp.SetInt("asn", int64(asn))
+	sp.SetInt("asns", int64(len(asns)))
 	sp.SetInt("generation", int64(a.Gen))
-	key := cacheKey{gen: a.Gen, asn: asn, bw: math.Float64bits(bw)}
-	if body, ok := s.cache.get(key); ok {
-		sp.SetStr("cache", "hit")
-		s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "hit").Inc()
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(body)
-		return
-	}
-	sp.SetStr("cache", "miss")
-	s.opts.Obs.Counter("eyeball_serve_footprint_cache_total", "result", "miss").Inc()
-
-	body, err := RenderFootprint(trace.NewContext(r.Context(), sp), s.opts.Gaz, rec, bw, s.opts.Workers, s.opts.Obs)
-	if err != nil {
-		if r.Context().Err() != nil {
-			writeError(w, http.StatusGatewayTimeout, "footprint render timed out: %v", err)
-			return
+	ctx := trace.NewContext(r.Context(), sp)
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, asn := range asns {
+		body, _, _ := s.footprintBody(ctx, a, asn, bw)
+		if _, err := w.Write(body); err != nil {
+			return // client went away; nothing useful left to do
 		}
-		writeError(w, http.StatusInternalServerError, "footprint render failed: %v", err)
-		return
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
-	s.cache.add(key, body)
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -423,7 +423,7 @@ func TestReloadInvalidatesFootprintCache(t *testing.T) {
 }
 
 func TestLRUCacheBounds(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, nil, nil)
 	k := func(i int) cacheKey { return cacheKey{gen: 1, asn: astopo.ASN(i), bw: math.Float64bits(40)} }
 	c.add(k(1), []byte("a"))
 	c.add(k(2), []byte("b"))
@@ -443,6 +443,112 @@ func TestLRUCacheBounds(t *testing.T) {
 	nilCache.add(k(1), []byte("x"))
 	if _, ok := nilCache.get(k(1)); ok {
 		t.Error("nil cache returned a hit")
+	}
+}
+
+// TestBandwidthValidation is the regression table for the ?bw= guard:
+// the old `!(v > 0)` check rejected only NaN and non-positives, so
+// +Inf (and absurd-but-finite values like 1e300) reached the KDE. The
+// envelope is now finite and (0, MaxBandwidthKm]; both footprint
+// endpoints share it.
+func TestBandwidthValidation(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		raw  string // already URL-escaped where needed
+		want int
+	}{
+		{"plus-inf", "%2BInf", http.StatusBadRequest},
+		{"inf", "Inf", http.StatusBadRequest},
+		{"neg-inf", "-Inf", http.StatusBadRequest},
+		{"nan", "NaN", http.StatusBadRequest},
+		{"zero", "0", http.StatusBadRequest},
+		{"negative", "-1", http.StatusBadRequest},
+		{"too-large", "5001", http.StatusBadRequest},
+		{"huge-finite", "1e300", http.StatusBadRequest},
+		{"garbage", "banana", http.StatusBadRequest},
+		{"paper-kernel", "40", http.StatusOK},
+		{"max", "5000", http.StatusOK},
+		{"small", "0.5", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run("single/"+tc.name, func(t *testing.T) {
+			rec := get(t, h, "/v1/footprint/64500?bw="+tc.raw)
+			if rec.Code != tc.want {
+				t.Fatalf("bw=%s: HTTP %d, want %d (%s)", tc.raw, rec.Code, tc.want, rec.Body.String())
+			}
+			if tc.want == http.StatusBadRequest && !strings.Contains(rec.Body.String(), "bad bandwidth") {
+				t.Errorf("bw=%s: 400 body %q lacks the bandwidth message", tc.raw, rec.Body.String())
+			}
+		})
+		t.Run("bulk/"+tc.name, func(t *testing.T) {
+			rec := get(t, h, "/v1/footprints?asns=64500&bw="+tc.raw)
+			if rec.Code != tc.want {
+				t.Fatalf("bulk bw=%s: HTTP %d, want %d (%s)", tc.raw, rec.Code, tc.want, rec.Body.String())
+			}
+		})
+	}
+	// An empty bw value means "server default", exactly like an absent
+	// parameter.
+	if rec := get(t, h, "/v1/footprint/64500?bw="); rec.Code != http.StatusOK {
+		t.Errorf("empty bw: HTTP %d, want 200", rec.Code)
+	}
+}
+
+// TestBulkFootprints pins the bulk endpoint's contract: the response
+// body is the concatenation, in request order, of exactly the bytes
+// the single endpoint serves for each AS — including the 404 error
+// payload for an unknown AS, which arrives inline instead of failing
+// the stream.
+func TestBulkFootprints(t *testing.T) {
+	reg := obs.New()
+	s, _, _ := newTestServer(t, Options{Obs: reg})
+	h := s.Handler()
+
+	single64500 := get(t, h, "/v1/footprint/64500").Body.Bytes()
+	single64501 := get(t, h, "/v1/footprint/64501").Body.Bytes()
+	missing := get(t, h, "/v1/footprint/99999")
+	if missing.Code != http.StatusNotFound {
+		t.Fatalf("single 99999: %d", missing.Code)
+	}
+
+	rec := get(t, h, "/v1/footprints?asns=64500,99999,64501")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bulk: HTTP %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("bulk Content-Type = %q", ct)
+	}
+	var want bytes.Buffer
+	want.Write(single64500)
+	want.Write(missing.Body.Bytes())
+	want.Write(single64501)
+	if !bytes.Equal(rec.Body.Bytes(), want.Bytes()) {
+		t.Fatalf("bulk body is not the concatenation of single responses:\n%q\nvs\n%q", rec.Body.String(), want.String())
+	}
+	assertFootprintFunnel(t, reg)
+
+	// ?bw= rides through to every line.
+	single80 := get(t, h, "/v1/footprint/64500?bw=80").Body.Bytes()
+	rec = get(t, h, "/v1/footprints?asns=64500&bw=80")
+	if rec.Code != http.StatusOK || !bytes.Equal(rec.Body.Bytes(), single80) {
+		t.Fatalf("bulk bw=80 diverged from single bw=80 (HTTP %d)", rec.Code)
+	}
+
+	// Whole-request failures stay up-front 400s.
+	if rec := get(t, h, "/v1/footprints"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing asns: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/footprints?asns=64500,banana"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad asn: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/footprints?asns=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative asn: %d", rec.Code)
+	}
+	long := "64500" + strings.Repeat(",64500", maxBulkASNs)
+	if rec := get(t, h, "/v1/footprints?asns="+long); rec.Code != http.StatusBadRequest {
+		t.Errorf("%d asns: %d, want 400", maxBulkASNs+1, rec.Code)
 	}
 }
 

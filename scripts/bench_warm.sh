@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench_warm.sh — benchmark the cold-vs-warmed footprint paths and the
+# coalescing machinery, and emit BENCH_pr10.json. Two gates:
+#
+#   1. Warmed speedup: the cached path (what a prewarmed server serves)
+#      must be at least 5x faster than the cold path (full KDE render
+#      per request) — the whole point of the -warm pass. The real ratio
+#      is orders of magnitude; 5x is the floor that still proves the
+#      cache is doing the work.
+#   2. Coalesced-path allocations: a flight waiter's join + wait must
+#      cost at most 1 alloc/op on top of the render it skips (measured:
+#      0) — coalescing exists to shed load, so its own overhead must
+#      stay negligible.
+#
+# Run single-core so the numbers isolate the paths being compared.
+#
+# Usage: scripts/bench_warm.sh [output.json]
+#   BENCHTIME=0.3s scripts/bench_warm.sh     # quicker CI smoke
+set -eu
+out="${1:-BENCH_pr10.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+GOMAXPROCS=1 go test -run '^$' \
+  -bench 'BenchmarkFootprintCold$|BenchmarkFootprintCached$|BenchmarkFlightWaiter$' \
+  -benchtime "$benchtime" -benchmem ./internal/serve/ | tee "$tmp"
+
+awk '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; bop[name] = $5; aop[name] = $7; order[n++] = name
+  }
+  END {
+    if (n < 3) { print "benchmark output not parsed" > "/dev/stderr"; exit 1 }
+    cold = ns["BenchmarkFootprintCold"] + 0
+    warmed = ns["BenchmarkFootprintCached"] + 0
+    waiter = aop["BenchmarkFlightWaiter"] + 0
+    speedup = (warmed > 0 ? cold / warmed : 0)
+    printf "{\n"
+    printf "  \"pr\": 10,\n"
+    printf "  \"gomaxprocs\": 1,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+        order[i], ns[order[i]], bop[order[i]], aop[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    printf "  \"gate\": {\n"
+    printf "    \"warmed_speedup_min\": 5.0,\n"
+    printf "    \"warmed_speedup\": %.1f,\n", speedup
+    printf "    \"warmed_speedup_ok\": %s,\n", (speedup >= 5 ? "true" : "false")
+    printf "    \"flight_waiter_allocs_max\": 1,\n"
+    printf "    \"flight_waiter_allocs\": %d,\n", waiter
+    printf "    \"flight_waiter_allocs_ok\": %s\n", (waiter <= 1 ? "true" : "false")
+    printf "  }\n"
+    printf "}\n"
+  }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
+if ! grep -q '"warmed_speedup_ok": true' "$out"; then
+  echo "warmed footprint path is not >=5x faster than the cold render path" >&2
+  exit 1
+fi
+if ! grep -q '"flight_waiter_allocs_ok": true' "$out"; then
+  echo "coalesced waiter path allocates past its 1 alloc/op budget" >&2
+  exit 1
+fi
